@@ -1,0 +1,150 @@
+// Presbench regenerates every table and figure of the paper's
+// evaluation (experiments E1-E10 in DESIGN.md; paper-vs-measured is
+// recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	presbench                 # all experiments
+//	presbench -exp e1         # one experiment
+//	presbench -exp e1 -schemes SYNC,SYS -procs 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sketch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presbench: ")
+
+	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
+	schemeList := flag.String("schemes", "", "comma-separated scheme subset (default: all)")
+	procs := flag.Int("procs", 4, "modelled processor count")
+	budget := flag.Int("max-attempts", 1000, "replay attempt budget")
+	seedBudget := flag.Int("seed-budget", 2000, "production seeds to search per bug")
+	overheadScale := flag.Int("overhead-scale", 800, "workload scale for overhead/log-size runs")
+	replays := flag.Int("e6-replays", 100, "re-replays per bug in E6")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	cfg := harness.Config{
+		Processors:    *procs,
+		MaxAttempts:   *budget,
+		SeedBudget:    *seedBudget,
+		OverheadScale: *overheadScale,
+	}
+
+	var schemes []sketch.Scheme
+	if *schemeList != "" {
+		for _, name := range strings.Split(*schemeList, ",") {
+			s, err := sketch.Parse(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			schemes = append(schemes, s)
+		}
+	}
+
+	results := map[string]any{}
+	run := func(id, title string, f func() any) {
+		if *exp != "all" && !strings.EqualFold(*exp, id) {
+			return
+		}
+		start := time.Now()
+		if !*asJSON {
+			fmt.Printf("== %s: %s ==\n", strings.ToUpper(id), title)
+		}
+		results[id] = f()
+		if !*asJSON {
+			fmt.Printf("(%s in %v)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	run("e1", "replay attempts to reproduce each bug, per sketching mechanism", func() any {
+		rows := harness.RunE1(schemes, cfg)
+		if !*asJSON {
+			harness.PrintE1(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+	run("e2", "production-run recording overhead, per app and mechanism", func() any {
+		rows := harness.RunE2(schemes, cfg)
+		if !*asJSON {
+			harness.PrintE2(os.Stdout, rows)
+		}
+		return rows
+	})
+	run("e3", "sketch/input log sizes, per app and mechanism", func() any {
+		rows := harness.RunE3(schemes, cfg)
+		if !*asJSON {
+			harness.PrintE3(os.Stdout, rows)
+		}
+		return rows
+	})
+	run("e4", "scalability with processor count (SYNC)", func() any {
+		rows := harness.RunE4(nil, nil, cfg)
+		if !*asJSON {
+			harness.PrintE4(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+	run("e5", "feedback-directed search vs. random exploration", func() any {
+		rows := harness.RunE5(nil, cfg)
+		if !*asJSON {
+			harness.PrintE5(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+	run("e6", "reproduce-every-time after first success", func() any {
+		rows := harness.RunE6(nil, *replays, cfg)
+		if !*asJSON {
+			harness.PrintE6(os.Stdout, rows)
+		}
+		return rows
+	})
+	run("e7", "recording-overhead reduction vs. full RW recording", func() any {
+		rows := harness.RunE7(cfg)
+		if !*asJSON {
+			harness.PrintE7(os.Stdout, rows)
+		}
+		return rows
+	})
+	run("e8", "replayer search statistics (SYNC)", func() any {
+		rows := harness.RunE8(cfg)
+		if !*asJSON {
+			harness.PrintE8(os.Stdout, rows)
+		}
+		return rows
+	})
+	run("e9", "sketch-log truncation (extension): attempts vs retained tail", func() any {
+		rows := harness.RunE9(nil, nil, cfg)
+		if !*asJSON {
+			harness.PrintE9(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+	run("e10", "canonical bug-pattern matrix (extension)", func() any {
+		rows := harness.RunE10(schemes, cfg)
+		if !*asJSON {
+			harness.PrintE10(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

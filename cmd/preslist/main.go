@@ -1,0 +1,48 @@
+// Preslist lists the evaluation corpus: the 11 applications and 13
+// real-world concurrency bugs modelled from the paper.
+//
+// Usage:
+//
+//	preslist [-bugs] [-apps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/harness"
+)
+
+func main() {
+	bugsOnly := flag.Bool("bugs", false, "list only the bugs")
+	appsOnly := flag.Bool("apps", false, "list only the applications")
+	stats := flag.Bool("stats", false, "profile each application's production workload")
+	flag.Parse()
+
+	if *stats {
+		harness.PrintAppStats(os.Stdout, harness.CollectAppStats(harness.Config{}))
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if !*bugsOnly {
+		fmt.Fprintln(w, "APPLICATION\tCATEGORY\tBUGS")
+		for _, p := range repro.Programs() {
+			fmt.Fprintf(w, "%s\t%s\t%v\n", p.Name, p.Category, p.Bugs)
+		}
+		if !*appsOnly {
+			fmt.Fprintln(w)
+		}
+	}
+	if !*appsOnly {
+		fmt.Fprintln(w, "BUG\tAPP\tTYPE\tDESCRIPTION")
+		for _, b := range repro.Bugs() {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", b.ID, b.App, b.Type, b.Description)
+		}
+	}
+}

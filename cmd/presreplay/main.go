@@ -1,0 +1,109 @@
+// Presreplay runs the PRES intelligent replayer on a recording written
+// by presrun: it explores the unrecorded non-deterministic space with
+// feedback from failed attempts until the bug reproduces, then verifies
+// the captured full order replays deterministically.
+//
+// Usage:
+//
+//	presreplay -app mysqld -bug mysql-169 run.pres
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presreplay: ")
+
+	appName := flag.String("app", "", "corpus application the recording is of")
+	bugID := flag.String("bug", "", "target bug id (empty accepts any manifested bug)")
+	procs := flag.Int("procs", 4, "processor count used for the recording")
+	scale := flag.Int("scale", 0, "workload scale used for the recording")
+	worldSeed := flag.Int64("world-seed", 1, "world seed used for the recording")
+	maxAttempts := flag.Int("max-attempts", 1000, "replay attempt budget")
+	noFeedback := flag.Bool("no-feedback", false, "disable feedback (random exploration ablation)")
+	verify := flag.Int("verify", 3, "re-replays of the captured order after success")
+	simplify := flag.Bool("simplify", true, "minimize context switches in the captured schedule")
+	parallel := flag.Int("parallel", 1, "replay attempts to run concurrently")
+	verbose := flag.Bool("v", false, "print each replay attempt as it completes")
+	flag.Parse()
+
+	if *appName == "" || flag.NArg() != 1 {
+		log.Fatal("usage: presreplay -app <name> [-bug <id>] <recording-file>")
+	}
+	prog, ok := repro.GetProgram(*appName)
+	if !ok {
+		log.Fatalf("unknown application %q (see preslist)", *appName)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := repro.ReadRecording(f, repro.Options{
+		Processors: *procs,
+		WorldSeed:  *worldSeed,
+		Scale:      *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		log.Fatalf("recording failed validation: %v", err)
+	}
+	fmt.Printf("recording: scheme=%v entries=%d inputs=%d\n",
+		rec.Scheme, rec.Sketch.Len(), rec.Inputs.Len())
+
+	var oracle repro.Oracle
+	if *bugID != "" {
+		oracle = repro.MatchBugID(*bugID)
+	}
+	ropts := repro.ReplayOptions{
+		Feedback:    !*noFeedback,
+		MaxAttempts: *maxAttempts,
+		Oracle:      oracle,
+		Parallelism: *parallel,
+	}
+	if *verbose {
+		ropts.OnAttempt = func(i int, mode, outcome string) {
+			fmt.Printf("  attempt %-4d %-8s %s\n", i, mode, outcome)
+		}
+	}
+	res := repro.Replay(prog, rec, ropts)
+	if !res.Reproduced {
+		fmt.Printf("NOT reproduced within %d attempts (%+v)\n", res.Attempts, res.Stats)
+		fmt.Printf("advice: %s\n", repro.Advise(rec, res))
+		os.Exit(1)
+	}
+	fmt.Printf("reproduced in %d attempts (%d race flips): %v\n", res.Attempts, res.Flips, res.Failure)
+	for _, rc := range res.RootCauses {
+		fmt.Printf("  root-cause race: %v\n", rc)
+	}
+
+	ok = true
+	for i := 0; i < *verify; i++ {
+		out := repro.Reproduce(prog, rec, res.Order)
+		if out.Failure == nil || !out.Failure.IsBug() {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		log.Fatal("captured order did not re-reproduce — this is a bug in the replayer")
+	}
+	fmt.Printf("captured order re-reproduced the failure %d/%d times\n", *verify, *verify)
+
+	if *simplify {
+		before := repro.Switches(res.Order)
+		simple, spent := repro.Simplify(prog, rec, res.Order, 0)
+		fmt.Printf("simplified schedule: %d -> %d context switches (%d re-executions)\n",
+			before, repro.Switches(simple), spent)
+	}
+}

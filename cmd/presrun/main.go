@@ -1,0 +1,117 @@
+// Presrun performs a production run of a corpus application under a
+// chosen sketching mechanism, optionally searching schedule seeds until
+// a target bug manifests, and writes the recording (sketch + input log)
+// to a file for presreplay.
+//
+// Usage:
+//
+//	presrun -app mysqld -scheme SYNC -seed 7 -o run.pres
+//	presrun -bug mysql-169 -scheme SYNC -o run.pres   # seed search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presrun: ")
+
+	appName := flag.String("app", "", "corpus application to run")
+	bugID := flag.String("bug", "", "search seeds until this bug manifests")
+	schemeName := flag.String("scheme", "SYNC", "sketching mechanism (BASE|SYNC|SYS|FUNC|BB|RW)")
+	seed := flag.Int64("seed", 0, "schedule seed (start of the search with -bug)")
+	seedBudget := flag.Int64("seed-budget", 2000, "seeds to try with -bug")
+	procs := flag.Int("procs", 4, "modelled processor count")
+	scale := flag.Int("scale", 0, "workload scale (0 = app default)")
+	worldSeed := flag.Int64("world-seed", 1, "virtual syscall world seed")
+	fixed := flag.Bool("fixed", false, "run the patched (bug-free) variant")
+	out := flag.String("o", "", "write the recording to this file")
+	flag.Parse()
+
+	scheme, err := repro.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var prog *repro.Program
+	switch {
+	case *bugID != "":
+		p, ok := repro.ProgramForBug(*bugID)
+		if !ok {
+			log.Fatalf("unknown bug %q (see preslist)", *bugID)
+		}
+		prog = p
+	case *appName != "":
+		p, ok := repro.GetProgram(*appName)
+		if !ok {
+			log.Fatalf("unknown application %q (see preslist)", *appName)
+		}
+		prog = p
+	default:
+		log.Fatal("one of -app or -bug is required")
+	}
+
+	opts := repro.Options{
+		Scheme:     scheme,
+		Processors: *procs,
+		WorldSeed:  *worldSeed,
+		Scale:      *scale,
+		FixBugs:    *fixed,
+	}
+
+	var rec *repro.Recording
+	if *bugID != "" {
+		oracle := repro.MatchBugID(*bugID)
+		for s := *seed; s < *seed+*seedBudget; s++ {
+			opts.ScheduleSeed = s
+			r := repro.Record(prog, opts)
+			if f := r.BugFailure(); f != nil && oracle(f) {
+				fmt.Printf("bug %s manifested at seed %d: %v\n", *bugID, s, f)
+				rec = r
+				break
+			}
+		}
+		if rec == nil {
+			log.Fatalf("bug %s did not manifest in %d seeds", *bugID, *seedBudget)
+		}
+	} else {
+		opts.ScheduleSeed = *seed
+		rec = repro.Record(prog, opts)
+		if f := rec.Result.Failure; f != nil {
+			fmt.Printf("run failed: %v\n", f)
+		} else {
+			fmt.Println("run completed cleanly")
+		}
+	}
+
+	fmt.Printf("app=%s scheme=%v steps=%d sketch-entries=%d (density %.4f) log-bytes=%d overhead=%.2f%%\n",
+		prog.Name, scheme, rec.Result.Steps, rec.Sketch.Len(),
+		float64(rec.Sketch.Len())/float64(max(rec.Sketch.TotalOps, 1)),
+		rec.LogBytes(), rec.Result.Overhead()*100)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recording written to %s\n", *out)
+		fmt.Printf("replay with: presreplay -app %s -scheme %v -world-seed %d -procs %d -scale %d",
+			prog.Name, scheme, *worldSeed, *procs, *scale)
+		if *bugID != "" {
+			fmt.Printf(" -bug %s", *bugID)
+		}
+		fmt.Printf(" %s\n", *out)
+	}
+}

@@ -1,0 +1,126 @@
+// Prestrace decodes and pretty-prints a recording written by presrun:
+// the sketch entries (the partial order PRES enforces on replay) and
+// the non-deterministic input log.
+//
+// Usage:
+//
+//	prestrace run.pres
+//	prestrace -inputs -n 50 run.pres
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/vsys"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prestrace: ")
+
+	n := flag.Int("n", 0, "print at most n entries per section (0 = all)")
+	inputsOnly := flag.Bool("inputs", false, "print only the input log")
+	sketchOnly := flag.Bool("sketch", false, "print only the sketch")
+	lanes := flag.Bool("lanes", false, "render the sketch as per-thread swimlanes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: prestrace [-n N] [-inputs|-sketch] <recording-file>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := repro.ReadRecording(f, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme=%v  sketch-entries=%d (of %d instrumented ops, %d records)  inputs=%d\n",
+		rec.Scheme, rec.Sketch.Len(), rec.Sketch.TotalOps, rec.Sketch.Records, rec.Inputs.Len())
+
+	limit := func(total int) int {
+		if *n > 0 && *n < total {
+			return *n
+		}
+		return total
+	}
+
+	if *lanes {
+		printLanes(rec, *n)
+		return
+	}
+
+	if !*inputsOnly {
+		fmt.Println("\nsketch (the recorded partial order):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  #\tthread\tkind\tobject")
+		for i, e := range rec.Sketch.Entries[:limit(rec.Sketch.Len())] {
+			fmt.Fprintf(tw, "  %d\tt%d\t%s\t%#x\n", i, e.TID, e.Kind, e.Obj)
+		}
+		tw.Flush()
+		if lim := limit(rec.Sketch.Len()); lim < rec.Sketch.Len() {
+			fmt.Printf("  ... %d more\n", rec.Sketch.Len()-lim)
+		}
+	}
+
+	if !*sketchOnly {
+		fmt.Println("\ninputs (recorded under every scheme):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  #\tthread\tcall\tbytes")
+		for i, r := range rec.Inputs.Records[:limit(rec.Inputs.Len())] {
+			data := fmt.Sprintf("%x", r.Data)
+			if len(data) > 24 {
+				data = data[:24] + "..."
+			}
+			fmt.Fprintf(tw, "  %d\tt%d\t%s\t%s\n", i, r.TID, vsys.CallName(r.Call), data)
+		}
+		tw.Flush()
+		if lim := limit(rec.Inputs.Len()); lim < rec.Inputs.Len() {
+			fmt.Printf("  ... %d more\n", rec.Inputs.Len()-lim)
+		}
+	}
+}
+
+// printLanes renders the sketch as per-thread swimlanes: one column per
+// thread, one row per recorded point, so the recorded interleaving
+// structure is visible at a glance.
+func printLanes(rec *repro.Recording, limit int) {
+	maxTID := 0
+	for _, e := range rec.Sketch.Entries {
+		if int(e.TID) > maxTID {
+			maxTID = int(e.TID)
+		}
+	}
+	n := rec.Sketch.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 1, ' ', 0)
+	defer w.Flush()
+	fmt.Fprint(w, "\n  #")
+	for tid := 0; tid <= maxTID; tid++ {
+		fmt.Fprintf(w, "\tt%d", tid)
+	}
+	fmt.Fprintln(w)
+	for i, e := range rec.Sketch.Entries[:n] {
+		fmt.Fprintf(w, "  %d", i)
+		for tid := 0; tid <= maxTID; tid++ {
+			if int(e.TID) == tid {
+				fmt.Fprintf(w, "\t%s", e.Kind)
+			} else {
+				fmt.Fprint(w, "\t.")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if n < rec.Sketch.Len() {
+		fmt.Printf("  ... %d more\n", rec.Sketch.Len()-n)
+	}
+}

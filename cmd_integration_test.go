@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineWorkflow builds the real binaries and drives the full
+// record -> inspect -> replay workflow through their public interfaces.
+func TestCommandLineWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"preslist", "presrun", "presreplay", "prestrace", "presbench"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bins[name], args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	if out := run("preslist"); !strings.Contains(out, "mysqld") || !strings.Contains(out, "radix-deadlock") {
+		t.Fatalf("preslist output:\n%s", out)
+	}
+
+	recFile := filepath.Join(dir, "run.pres")
+	out := run("presrun", "-bug", "fft-barrier", "-scheme", "SYNC", "-o", recFile)
+	if !strings.Contains(out, "manifested") {
+		t.Fatalf("presrun output:\n%s", out)
+	}
+	if _, err := os.Stat(recFile); err != nil {
+		t.Fatal(err)
+	}
+
+	out = run("prestrace", "-n", "5", recFile)
+	if !strings.Contains(out, "scheme=SYNC") || !strings.Contains(out, "thread-start") {
+		t.Fatalf("prestrace output:\n%s", out)
+	}
+
+	out = run("presreplay", "-app", "fft", "-bug", "fft-barrier", recFile)
+	if !strings.Contains(out, "reproduced in") || !strings.Contains(out, "re-reproduced") {
+		t.Fatalf("presreplay output:\n%s", out)
+	}
+	if !strings.Contains(out, "simplified schedule") {
+		t.Fatalf("presreplay missing simplification:\n%s", out)
+	}
+
+	out = run("presbench", "-exp", "e9", "-json", "-seed-budget", "500")
+	if !strings.Contains(out, "\"e9\"") || !strings.Contains(out, "\"Reproduced\": true") {
+		t.Fatalf("presbench json output:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+// Deadlock-hunt reproduces the OpenLDAP-style lock-order-inversion
+// deadlock from the corpus. Deadlocks are the best case for SYNC
+// sketching: the recorded synchronization order pins the inversion
+// exactly, so the very first coordinated replay hangs the same way —
+// and the scheduler's deadlock detector names every stuck thread and
+// the lock it wants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	prog, _ := repro.ProgramForBug("openldap-deadlock")
+	oracle := repro.MatchBugID("openldap-deadlock")
+
+	var rec *repro.Recording
+	for seed := int64(0); seed < 2000; seed++ {
+		r := repro.Record(prog, repro.Options{
+			Scheme:       repro.SYNC,
+			Processors:   4,
+			ScheduleSeed: seed,
+			WorldSeed:    1,
+		})
+		if f := r.BugFailure(); f != nil && oracle(f) {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		log.Fatal("the inversion never deadlocked")
+	}
+
+	f := rec.BugFailure()
+	fmt.Println("production hang detected:")
+	for _, s := range f.Stuck {
+		fmt.Printf("  thread %d (%s): %s\n", s.TID, s.Name, s.What)
+	}
+
+	res := repro.Replay(prog, rec, repro.ReplayOptions{Feedback: true, Oracle: oracle})
+	if !res.Reproduced {
+		log.Fatalf("not reproduced (%d attempts)", res.Attempts)
+	}
+	fmt.Printf("\nreproduced on replay attempt %d (deadlocks replay from the sync order alone)\n", res.Attempts)
+
+	out := repro.Reproduce(prog, rec, res.Order)
+	fmt.Println("\ndeterministic re-run reports the same cycle:")
+	for _, s := range out.Failure.Stuck {
+		fmt.Printf("  thread %d (%s): %s\n", s.TID, s.Name, s.What)
+	}
+}

@@ -1,0 +1,88 @@
+// Diagnose-atomicity walks through diagnosing a production failure of
+// the MySQL-style storage engine from the evaluation corpus: the
+// mysql-169 binlog atomicity violation. It shows what a PRES deployment
+// looks like — cheap always-on recording, a crash, then offline
+// reproduction — including the information a developer gets out of it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	prog, ok := repro.ProgramForBug("mysql-169")
+	if !ok {
+		log.Fatal("corpus missing mysql-169")
+	}
+	bug, _ := repro.GetBug("mysql-169")
+	fmt.Printf("target: %s — %s\n\n", bug.ID, bug.Description)
+
+	// Production: the server runs with SYNC sketching always on. Most
+	// runs are fine; eventually a rare interleaving corrupts the binlog.
+	oracle := repro.MatchBugID("mysql-169")
+	var rec *repro.Recording
+	runs := 0
+	for seed := int64(0); seed < 2000; seed++ {
+		r := repro.Record(prog, repro.Options{
+			Scheme:       repro.SYNC,
+			Processors:   4,
+			ScheduleSeed: seed,
+			WorldSeed:    1,
+		})
+		runs++
+		if f := r.BugFailure(); f != nil && oracle(f) {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		log.Fatal("mysql-169 did not manifest")
+	}
+	fmt.Printf("after %d production runs the server crashed:\n  %v\n",
+		runs, rec.BugFailure())
+	fmt.Printf("what PRES kept: a %d-entry synchronization sketch plus %d inputs (%d bytes total)\n\n",
+		rec.Sketch.Len(), rec.Inputs.Len(), rec.LogBytes())
+
+	// Diagnosis, attempt by attempt.
+	res := repro.Replay(prog, rec, repro.ReplayOptions{
+		Feedback: true,
+		Oracle:   oracle,
+	})
+	if !res.Reproduced {
+		log.Fatalf("not reproduced within %d attempts (%+v)", res.Attempts, res.Stats)
+	}
+	fmt.Printf("the replayer reproduced the crash in %d attempt(s):\n", res.Attempts)
+	fmt.Printf("  race flips needed: %d\n", res.Flips)
+	fmt.Printf("  races observed while searching: %d\n", res.Stats.RacesSeen)
+	for _, rc := range res.RootCauses {
+		fmt.Printf("  root cause: %v\n", rc)
+	}
+	fmt.Printf("  reproduced failure: %v\n\n", res.Failure)
+
+	// The developer can now re-run the exact failing schedule under
+	// whatever inspection they like, as many times as they like.
+	for i := 0; i < 3; i++ {
+		out := repro.Reproduce(prog, rec, res.Order)
+		fmt.Printf("deterministic re-run %d: %v\n", i+1, out.Failure)
+	}
+
+	// And the fix is verifiable in-harness: the patched binlog path
+	// cannot fail under any schedule.
+	fmt.Println("\nverifying the patch (log lock around the append) on 200 adversarial schedules...")
+	for seed := int64(0); seed < 200; seed++ {
+		r := repro.Record(prog, repro.Options{
+			Scheme:       repro.BASE,
+			Processors:   8,
+			Preempt:      0.1,
+			ScheduleSeed: seed,
+			FixBugs:      true,
+		})
+		if r.Result.Failure != nil {
+			log.Fatalf("patched variant failed: %v", r.Result.Failure)
+		}
+	}
+	fmt.Println("patched variant survived all 200 runs")
+}

@@ -1,0 +1,86 @@
+// Quickstart records a tiny racy program with SYNC sketching, lets the
+// PRES replayer reproduce the failure, and then replays the captured
+// schedule deterministically — the full pipeline in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// program is a classic order violation: the producer publishes the
+// ready flag before the value it guards.
+func program() *repro.Program {
+	return &repro.Program{
+		Name: "quickstart",
+		Run: func(env *repro.Env) {
+			th := env.T
+			data := repro.NewCell("data", 0)
+			ready := repro.NewCell("ready", 0)
+
+			producer := th.Spawn("producer", func(t *repro.Thread) {
+				ready.Store(t, 1) // BUG: flag published before data
+				t.Yield()
+				data.Store(t, 42)
+			})
+			consumer := th.Spawn("consumer", func(t *repro.Thread) {
+				if ready.Load(t) == 1 {
+					v := data.Load(t)
+					t.Check(v == 42, "use-before-init", "read %d before init", v)
+				}
+			})
+			th.Join(producer)
+			th.Join(consumer)
+		},
+	}
+}
+
+func main() {
+	prog := program()
+
+	// 1. Production: run with cheap SYNC sketching until the bug bites.
+	var rec *repro.Recording
+	var seed int64
+	for seed = 0; seed < 1000; seed++ {
+		r := repro.Record(prog, repro.Options{
+			Scheme:       repro.SYNC,
+			Processors:   4,
+			ScheduleSeed: seed,
+		})
+		if r.BugFailure() != nil {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		log.Fatal("the race never lost in 1000 production runs — lucky scheduling")
+	}
+	fmt.Printf("production run (seed %d) failed: %v\n", seed, rec.BugFailure())
+	fmt.Printf("recorded sketch: %d entries, %d log bytes\n",
+		rec.Sketch.Len(), rec.LogBytes())
+
+	// 2. Diagnosis: the intelligent replayer searches the unrecorded
+	// interleavings, guided by the sketch and by feedback from failed
+	// attempts.
+	res := repro.Replay(prog, rec, repro.ReplayOptions{
+		Feedback: true,
+		Oracle:   repro.MatchBugID("use-before-init"),
+	})
+	if !res.Reproduced {
+		log.Fatalf("not reproduced within %d attempts", res.Attempts)
+	}
+	fmt.Printf("reproduced in %d coordinated replay attempt(s) with %d race flip(s)\n",
+		res.Attempts, res.Flips)
+
+	// 3. Forever after: the captured full order replays the bug every
+	// single time.
+	for i := 0; i < 5; i++ {
+		out := repro.Reproduce(prog, rec, res.Order)
+		if out.Failure == nil {
+			log.Fatal("deterministic replay lost the bug!?")
+		}
+	}
+	fmt.Println("captured schedule re-reproduced the failure 5/5 times")
+}

@@ -1,0 +1,75 @@
+// Scheme-sweep demonstrates the paper's central trade-off on one bug:
+// cheaper sketches record less, so the production run is faster, but
+// the replayer must search harder. It records the aget resume-state
+// atomicity violation under every mechanism and reports recording
+// overhead, log size and replay attempts side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+const bugID = "aget-atomicity"
+
+func main() {
+	prog, _ := repro.ProgramForBug(bugID)
+	oracle := repro.MatchBugID(bugID)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tproduction overhead\tsketch entries\tlog bytes\treplay attempts")
+
+	for _, scheme := range repro.Schemes() {
+		// Find a production run where the bug manifests under this
+		// scheme (the schedule space is identical across schemes; the
+		// recording just captures different subsequences of it).
+		var rec *repro.Recording
+		for seed := int64(0); seed < 2000; seed++ {
+			r := repro.Record(prog, repro.Options{
+				Scheme:       scheme,
+				Processors:   4,
+				ScheduleSeed: seed,
+				WorldSeed:    1,
+			})
+			if f := r.BugFailure(); f != nil && oracle(f) {
+				rec = r
+				break
+			}
+		}
+		if rec == nil {
+			log.Fatalf("%v: bug never manifested", scheme)
+		}
+
+		res := repro.Replay(prog, rec, repro.ReplayOptions{
+			Feedback: true,
+			Oracle:   oracle,
+		})
+		attempts := fmt.Sprintf("%d", res.Attempts)
+		if !res.Reproduced {
+			attempts = ">" + attempts
+		}
+
+		// Overhead is a production metric: measure it on a long,
+		// steady-state workload (the patched variant, so a lucky
+		// manifestation does not cut the run short).
+		prodRun := repro.Record(prog, repro.Options{
+			Scheme:       scheme,
+			Processors:   4,
+			ScheduleSeed: 1,
+			WorldSeed:    1,
+			Scale:        500,
+			FixBugs:      true,
+		})
+		fmt.Fprintf(w, "%v\t%.2f%%\t%d\t%d\t%s\n",
+			scheme, prodRun.Result.Overhead()*100, rec.Sketch.Len(), rec.LogBytes(), attempts)
+	}
+	w.Flush()
+
+	fmt.Println("\nreading the table: RW reproduces first try but is ruinously expensive to")
+	fmt.Println("record; BASE records nothing but may search forever; SYNC/SYS are the")
+	fmt.Println("paper's sweet spot — near-zero production overhead, a handful of attempts.")
+}

@@ -1,0 +1,96 @@
+// Why-pres contrasts the two ways of pinning down a concurrency bug on
+// this substrate:
+//
+//  1. exhaustive schedule enumeration (a stateless model checker) —
+//     a proof, but combinatorially explosive; and
+//  2. PRES — record a cheap sketch in production, then let the
+//     probabilistic feedback-directed replayer reproduce the failure in
+//     a handful of attempts.
+//
+// On a tiny program both work. Scaling the very same program slightly
+// makes enumeration intractable while PRES's attempt count stays flat —
+// the paper's core motivation, measured live.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// bank builds the classic lost-update program: n workers each do k
+// unsynchronized read-modify-write increments; the final assertion
+// fails iff an update was lost.
+func bank(n, k int) *repro.Program {
+	return &repro.Program{
+		Name: "bank",
+		Run: func(env *repro.Env) {
+			th := env.T
+			bal := repro.NewCell("balance", 0)
+			var ws []*repro.Thread
+			for i := 0; i < n; i++ {
+				ws = append(ws, th.Spawn("teller", func(t *repro.Thread) {
+					for j := 0; j < k; j++ {
+						v := bal.Load(t)
+						bal.Store(t, v+1)
+					}
+				}))
+			}
+			for _, w := range ws {
+				th.Join(w)
+			}
+			th.Check(bal.Peek() == uint64(n*k), "lost-update", "balance %d != %d", bal.Peek(), n*k)
+		},
+	}
+}
+
+func main() {
+	fmt.Println("exhaustive enumeration vs. PRES, on the same lost-update bug")
+	fmt.Println()
+	fmt.Printf("%-12s %-22s %-18s\n", "workload", "enumeration (runs)", "PRES (attempts)")
+
+	for _, cfg := range []struct{ n, k int }{{2, 1}, {2, 2}, {2, 3}, {3, 2}} {
+		prog := bank(cfg.n, cfg.k)
+
+		// Brute force: enumerate every schedule (budget-capped).
+		exp := repro.Explore(func(t *repro.Thread) {
+			prog.Run(&repro.Env{T: t})
+		}, repro.ExploreOptions{MaxRuns: 200_000})
+		enum := fmt.Sprintf("%d", exp.Runs)
+		if !exp.Complete {
+			enum = ">" + enum + " (gave up)"
+		}
+
+		// PRES: find a failing production run under SYNC sketching, then
+		// reproduce it.
+		attempts := "-"
+		for seed := int64(0); seed < 3000; seed++ {
+			rec := repro.Record(prog, repro.Options{
+				Scheme:       repro.SYNC,
+				Processors:   4,
+				ScheduleSeed: seed,
+			})
+			if rec.BugFailure() == nil {
+				continue
+			}
+			res := repro.Replay(prog, rec, repro.ReplayOptions{
+				Feedback: true,
+				Oracle:   repro.MatchBugID("lost-update"),
+			})
+			if !res.Reproduced {
+				log.Fatalf("n=%d k=%d: replay failed", cfg.n, cfg.k)
+			}
+			attempts = fmt.Sprintf("%d", res.Attempts)
+			break
+		}
+
+		fmt.Printf("%-12s %-22s %-18s\n",
+			fmt.Sprintf("%dx%d", cfg.n, cfg.k), enum, attempts)
+	}
+
+	fmt.Println()
+	fmt.Println("enumeration is a proof but its cost explodes with the program;")
+	fmt.Println("PRES's attempts stay flat because the sketch plus feedback aim the")
+	fmt.Println("search at exactly the interleaving that failed in production.")
+}

@@ -1,0 +1,112 @@
+package appkit
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+type collector struct{ evs []trace.Event }
+
+func (c *collector) OnEvent(ev trace.Event) uint64 {
+	c.evs = append(c.evs, ev)
+	return 0
+}
+
+func TestFuncEmitsEnterExit(t *testing.T) {
+	c := &collector{}
+	res := sched.Run(func(th *sched.Thread) {
+		Func(th, "handle", func() {
+			th.Yield()
+		})
+	}, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{c}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	var enter, exit, inBetween bool
+	for _, ev := range c.evs {
+		switch ev.Kind {
+		case trace.KindFuncEnter:
+			if ev.Obj != FuncID("handle") {
+				t.Fatal("enter id mismatch")
+			}
+			enter = true
+		case trace.KindYield:
+			inBetween = enter
+		case trace.KindFuncExit:
+			if !inBetween {
+				t.Fatal("exit before body ran")
+			}
+			exit = true
+		}
+	}
+	if !enter || !exit {
+		t.Fatal("missing enter/exit events")
+	}
+}
+
+func TestBBEmitsBlockEvent(t *testing.T) {
+	c := &collector{}
+	res := sched.Run(func(th *sched.Thread) {
+		for i := 0; i < 3; i++ {
+			BB(th, "loop")
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{c}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	n := 0
+	for _, ev := range c.evs {
+		if ev.Kind == trace.KindBB && ev.Obj == BBID("loop") {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("BB events = %d, want 3", n)
+	}
+}
+
+func TestIDsStableAndDistinct(t *testing.T) {
+	if FuncID("f") != FuncID("f") || BBID("b") != BBID("b") {
+		t.Fatal("ids not stable")
+	}
+	if FuncID("x") == BBID("x") {
+		t.Fatal("func and bb namespaces collided")
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	e := &Env{}
+	if e.ScaleOr(10) != 10 || e.ProcsOr(4) != 4 {
+		t.Fatal("defaults not applied")
+	}
+	e.Scale, e.Procs = 3, 2
+	if e.ScaleOr(10) != 3 || e.ProcsOr(4) != 2 {
+		t.Fatal("explicit values not honored")
+	}
+}
+
+func TestBlockClampsAndCosts(t *testing.T) {
+	c := &collector{}
+	res := sched.Run(func(th *sched.Thread) {
+		Block(th, "big", 100)
+		Block(th, "clamped", 0) // clamps to 1 access
+	}, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{c}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	var args []uint64
+	for _, ev := range c.evs {
+		if ev.Kind == trace.KindBB {
+			args = append(args, ev.Arg)
+		}
+	}
+	if len(args) != 2 || args[0] != 100 || args[1] != 1 {
+		t.Fatalf("block args = %v", args)
+	}
+	// The big block dominates the run's base cost.
+	if res.BaseCost < 100*trace.CostUnit {
+		t.Fatalf("BaseCost = %d", res.BaseCost)
+	}
+}

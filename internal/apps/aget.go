@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// aget models the multi-connection download accelerator: N worker
+// threads each fetch byte ranges of a file from the network and write
+// them at their offset, maintaining shared progress state (total bytes
+// written plus a per-chunk completion bitmap) that a SIGINT handler
+// serializes into a resume file.
+//
+// Modelled bug:
+//
+//   - aget-atomicity (atomicity violation, multi-variable): workers
+//     update bwritten and the chunk bitmap as two separate unlocked
+//     stores; the signal handler that snapshots them for the resume
+//     file can run between the two and persist an inconsistent state —
+//     the original corrupted-resume defect.
+func aget() *appkit.Program {
+	return &appkit.Program{
+		Name:     "aget",
+		Category: "desktop",
+		Bugs:     []string{"aget-atomicity"},
+		Run:      runAget,
+	}
+}
+
+func runAget(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nChunks := env.ScaleOr(8)
+	nWorkers := 2
+	const chunkBytes = 64
+
+	bwritten := mem.NewCell("aget.bwritten", 0)
+	bitmap := mem.NewArray("aget.chunk_bitmap", nChunks)
+	progressLock := ssync.NewMutex("aget.progress_lock") // taken only when FixBugs
+	sigFired := ssync.NewSemaphore("aget.sigint", 0)
+	sigDone := ssync.NewSemaphore("aget.sig_done", 0)
+	chunkQ := w.NewQueue("aget.http_socket")
+
+	fetch := func(t *sched.Thread, chunk int) {
+		appkit.Func(t, "aget.http_get", func() {
+			// Receive and buffer the range body: private copy work.
+			appkit.Block(t, "aget.recv_copy", 9000)
+			appkit.BB(t, "aget.recv_body")
+			// "Receive" the range: hash-mix to simulate the copy loop.
+			var sum uint64
+			for k := 0; k < 3; k++ {
+				appkit.BB(t, "aget.copy_loop")
+				sum = sum*6364136223846793005 + uint64(chunk*16+k)
+			}
+			fd := w.Open(t, "/tmp/aget.out")
+
+			// BUG: two-variable progress update with no lock — bwritten
+			// is bumped when the write is issued, the bitmap only after
+			// it completes. The patched variant makes the pair atomic
+			// under the lock the signal handler also takes.
+			appkit.BB(t, "aget.update_progress")
+			if env.FixBugs {
+				progressLock.Lock(t)
+			}
+			cur := bwritten.Load(t)
+			bwritten.Store(t, cur+chunkBytes) // update 1
+			fd.Write(t, []byte{byte(sum)})
+			fd.Close(t)
+			bitmap.Store(t, chunk, 1) // update 2 (window spans the write)
+			if env.FixBugs {
+				progressLock.Unlock(t)
+			}
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		workers = append(workers, th.Spawn(fmt.Sprintf("aget-worker%d", i), func(t *sched.Thread) {
+			for {
+				appkit.BB(t, "aget.worker_loop")
+				msg, ok := chunkQ.Recv(t)
+				if !ok {
+					return
+				}
+				fetch(t, int(msg[0]))
+			}
+		}))
+	}
+
+	// The signal handler thread: parked until the driver raises SIGINT,
+	// then snapshots progress into the resume file.
+	handler := th.Spawn("aget-sighandler", func(t *sched.Thread) {
+		sigFired.Acquire(t)
+		appkit.Func(t, "aget.save_state", func() {
+			appkit.BB(t, "aget.snapshot")
+			if env.FixBugs {
+				progressLock.Lock(t)
+				defer progressLock.Unlock(t)
+			}
+			total := bwritten.Load(t)
+			var fromBitmap uint64
+			for c := 0; c < nChunks; c++ {
+				fromBitmap += bitmap.Load(t, c) * chunkBytes
+			}
+			// The resume file is valid only if the two structures agree.
+			t.Check(total == fromBitmap, "aget-atomicity",
+				"resume state torn: bwritten=%d bitmap=%d", total, fromBitmap)
+			fd := w.Open(t, "/tmp/aget.resume")
+			fd.Write(t, []byte{byte(total), byte(fromBitmap)})
+			fd.Close(t)
+		})
+		sigDone.Release(t)
+	})
+
+	// Driver: enqueue chunks as the transfer progresses, raising SIGINT
+	// midway — the user's Ctrl-C lands at an arbitrary point of the
+	// download.
+	half := nChunks / 2
+	for c := 0; c < half; c++ {
+		chunkQ.Send(th, []byte{byte(c)})
+		w.Sleep(th, 450)
+	}
+	sigFired.Release(th) // user hits Ctrl-C mid-transfer
+	for c := half; c < nChunks; c++ {
+		chunkQ.Send(th, []byte{byte(c)})
+		w.Sleep(th, 450)
+	}
+	chunkQ.Close(th)
+
+	sigDone.Acquire(th)
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+	th.Join(handler)
+}

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// apached models an Apache-like worker-pool HTTP server: a listener
+// queue feeds a pool of workers that parse a request, touch a shared
+// document cache, append to the shared access log, and recycle their
+// connection buffer into a pool that shutdown also tears down.
+//
+// Two real-world bugs are modelled:
+//
+//   - apache-25520 (atomicity violation): the access-log append reads
+//     the shared buffer length, copies the record, then publishes the
+//     new length — with no lock, concurrent workers interleave inside
+//     the window and corrupt each other's records (the original
+//     garbled-log defect).
+//
+//   - apache-21285 (order violation): a connection buffer is returned
+//     to the pool on the request-completion path and again on the
+//     shutdown path when the two race — a double free.
+func apached() *appkit.Program {
+	return &appkit.Program{
+		Name:     "apached",
+		Category: "server",
+		Bugs:     []string{"apache-25520", "apache-21285"},
+		Run:      runApached,
+	}
+}
+
+func runApached(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nReq := env.ScaleOr(10)
+	nWorkers := 3
+
+	const logCap = 2048
+	const nConns = 8
+	accessLog := mem.NewArray("apache.access_log", logCap)
+	logLen := mem.NewCell("apache.log_len", 0)
+	cache := mem.NewArray("apache.doc_cache", 32)
+	// connState: 0 = free (in pool), 1 = in use by a worker.
+	connState := mem.NewArray("apache.conn_state", nConns)
+	shuttingDown := mem.NewCell("apache.shutting_down", 0)
+	connLock := ssync.NewMutex("apache.conn_pool_lock")
+	logLock := ssync.NewMutex("apache.log_lock") // taken only when FixBugs
+	reqQ := w.NewQueue("apache.listener")
+	logFd := w.Open(th, "/var/log/apache/access.log")
+
+	logAppend := func(t *sched.Thread, tag uint64) {
+		appkit.Func(t, "apache.log_append", func() {
+			appkit.BB(t, "apache.log_reserve")
+			if env.FixBugs { // patched: appends are serialized
+				logLock.Lock(t)
+				defer logLock.Unlock(t)
+			}
+			l := logLen.Load(t) // read length (apache-25520 window opens)
+			slot := int(l % logCap)
+			accessLog.Store(t, slot, tag) // copy the record header
+			// Format the rest of the log line into the slot.
+			appkit.Block(t, "apache.fmt_logline", 25)
+			got := accessLog.Load(t, slot)
+			t.Check(got == tag, "apache-25520",
+				"access log record %d corrupted: wrote %d, found %d", l, tag, got)
+			logLen.Store(t, l+1) // publish length
+			logFd.Write(t, []byte{byte(tag)})
+		})
+	}
+
+	// freeConn returns a connection buffer to the pool; freeing a free
+	// buffer is the apache-21285 double free.
+	freeConn := func(t *sched.Thread, c int, path string) {
+		appkit.BB(t, "apache.free_conn")
+		if env.FixBugs { // patched: check-and-free is atomic
+			connLock.Lock(t)
+			defer connLock.Unlock(t)
+			if connState.Load(t, c) == 1 {
+				connState.Store(t, c, 0)
+			}
+			return
+		}
+		st := connState.Load(t, c)
+		t.Check(st == 1, "apache-21285", "double free of conn %d on %s path", c, path)
+		connState.Store(t, c, 0)
+	}
+
+	serve := func(t *sched.Thread, wid int, seq int, req []byte) {
+		appkit.Func(t, "apache.process_request", func() {
+			conn := wid % nConns
+			// Claim the connection buffer under the pool lock (the
+			// original code synchronizes allocation, not the free).
+			connLock.Lock(t)
+			connState.Store(t, conn, 1)
+			connLock.Unlock(t)
+
+			// Parse headers and render the response body: private work.
+			appkit.Block(t, "apache.parse_render", 6000)
+			// Handle: deterministic compute over the doc cache.
+			appkit.BB(t, "apache.handle")
+			h := uint64(req[0])
+			for k := 0; k < 3; k++ {
+				appkit.BB(t, "apache.handle_loop")
+				idx := int((h + uint64(k)) % uint64(cache.Len()))
+				v := cache.Load(t, idx)
+				cache.Store(t, idx, v+h)
+				h = h*31 + v
+			}
+			w.Now(t) // request timestamp for the log line
+
+			logAppend(t, uint64(seq)*7919+h%997+1)
+
+			// Completion path frees the buffer — unless shutdown has
+			// begun, in which case the original code *also* lets the
+			// teardown loop free it (the race). The brigade flush
+			// between the check and the free is the window.
+			if shuttingDown.Load(t) == 0 {
+				appkit.Block(t, "apache.conn_flush", 200)
+				freeConn(t, conn, "completion")
+			}
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		wid := i
+		workers = append(workers, th.Spawn(fmt.Sprintf("apached-worker%d", i), func(t *sched.Thread) {
+			seq := 0
+			for {
+				appkit.BB(t, "apache.worker_loop")
+				req, ok := reqQ.Recv(t)
+				if !ok {
+					return
+				}
+				serve(t, wid, int(t.ID())*10000+seq, req)
+				seq++
+			}
+		}))
+	}
+
+	for i := 0; i < nReq; i++ {
+		r := w.Rand(th)
+		reqQ.Send(th, []byte{byte(r), byte(r >> 8)})
+		w.Sleep(th, 2500) // client inter-arrival gap
+	}
+	// Graceful-stop: signal shutdown while the tail of the queue is
+	// still being served, then tear down whatever buffers look in-use.
+	shuttingDown.Store(th, 1)
+	reqQ.Close(th)
+	appkit.Func(th, "apache.shutdown_teardown", func() {
+		for c := 0; c < nConns; c++ {
+			appkit.BB(th, "apache.teardown_loop")
+			if connState.Load(th, c) == 1 {
+				freeConn(th, c, "shutdown")
+			}
+		}
+	})
+
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+	logFd.Close(th)
+}

@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// kindCount records an app (patched, fixed scale) and returns the
+// per-kind event counts.
+func kindCount(t *testing.T, name string, scale int, fixed bool) (*core.Recording, *[trace.NumKinds]uint64) {
+	t.Helper()
+	p, _ := Get(name)
+	rec := core.Record(p, core.Options{
+		Scheme:       sketch.BASE,
+		Processors:   4,
+		ScheduleSeed: 2,
+		WorldSeed:    1,
+		Scale:        scale,
+		MaxSteps:     2_000_000,
+		FixBugs:      fixed,
+	})
+	if fixed && rec.Result.Failure != nil {
+		t.Fatalf("%s (fixed): %v", name, rec.Result.Failure)
+	}
+	return rec, &rec.Result.EventsByKind
+}
+
+func TestMysqldBehavior(t *testing.T) {
+	_, k := kindCount(t, "mysqld", 24, true)
+	// 24 requests: each binlogged request writes the binlog file, and
+	// the rotator reopens the log (1 + 24/6 rotations, each one open).
+	if k[trace.KindSyscall] < 24 {
+		t.Fatalf("too few syscalls: %d", k[trace.KindSyscall])
+	}
+	// The patched variant takes the log lock per append and rotation.
+	if k[trace.KindLock] < 24*2 { // table lock + log lock per request
+		t.Fatalf("too few lock events for the patched binlog: %d", k[trace.KindLock])
+	}
+	// The buggy variant has strictly fewer lock events (no log lock).
+	_, kb := kindCount(t, "mysqld", 24, false)
+	if kb[trace.KindLock] >= k[trace.KindLock] {
+		t.Fatalf("buggy variant locks as much as patched: %d vs %d",
+			kb[trace.KindLock], k[trace.KindLock])
+	}
+}
+
+func TestApachedBehavior(t *testing.T) {
+	rec, k := kindCount(t, "apached", 16, true)
+	// One access-log file write per request.
+	if k[trace.KindSyscall] < 16 {
+		t.Fatalf("too few syscalls: %d", k[trace.KindSyscall])
+	}
+	// Every request claims a connection buffer (stores to conn_state),
+	// handled under the pool lock.
+	if k[trace.KindLock] < 16 {
+		t.Fatalf("too few lock events: %d", k[trace.KindLock])
+	}
+	if rec.Result.Steps == 0 {
+		t.Fatal("no events")
+	}
+}
+
+func TestOpenldapdBehavior(t *testing.T) {
+	_, k := kindCount(t, "openldapd", 12, true)
+	// Every op takes both locks (search and fixed unbind): 2 locks/op.
+	if k[trace.KindLock] < 24 {
+		t.Fatalf("too few lock events: %d", k[trace.KindLock])
+	}
+	if k[trace.KindFuncEnter] < 12 {
+		t.Fatalf("too few op functions: %d", k[trace.KindFuncEnter])
+	}
+}
+
+func TestCherokeedBehavior(t *testing.T) {
+	_, k := kindCount(t, "cherokeed", 20, true)
+	// served.Add per request is the app's only RMW.
+	if k[trace.KindRMW] != 20 {
+		t.Fatalf("served counter updates = %d, want 20", k[trace.KindRMW])
+	}
+}
+
+func TestPbzip2Behavior(t *testing.T) {
+	_, k := kindCount(t, "pbzip2", 10, true)
+	// Producer reads each block, writes each compressed block at the
+	// end, plus open/close: at least 2 syscalls per block.
+	if k[trace.KindSyscall] < 20 {
+		t.Fatalf("too few syscalls: %d", k[trace.KindSyscall])
+	}
+	// The bounded fifo uses cond waits when full/empty; signals flow.
+	if k[trace.KindSignal] == 0 {
+		t.Fatal("fifo signalling absent")
+	}
+}
+
+func TestAgetBehavior(t *testing.T) {
+	_, k := kindCount(t, "aget", 12, true)
+	// One bitmap store and one bwritten load+store pair per chunk, plus
+	// the signal handler's snapshot loads.
+	if k[trace.KindStore] < 24 {
+		t.Fatalf("too few stores: %d", k[trace.KindStore])
+	}
+	// The SIGINT semaphore fires exactly once each way.
+	if k[trace.KindSemRelease] < 2 || k[trace.KindSemAcquire] < 2 {
+		t.Fatalf("signal semaphores: rel=%d acq=%d", k[trace.KindSemRelease], k[trace.KindSemAcquire])
+	}
+}
+
+func TestTransmissionBehavior(t *testing.T) {
+	_, k := kindCount(t, "transmission", 10, true)
+	// Each admitted message rate-limits through transferred.Add.
+	if k[trace.KindRMW] == 0 {
+		t.Fatal("no transfers admitted")
+	}
+	// Peers receive every queued message plus the close markers.
+	if k[trace.KindSyscall] < 10 {
+		t.Fatalf("too few syscalls: %d", k[trace.KindSyscall])
+	}
+}
+
+func TestFFTBehavior(t *testing.T) {
+	// The patched variant's defining feature IS the barrier.
+	_, fixed := kindCount(t, "fft", 8, true)
+	if fixed[trace.KindBarrier] == 0 {
+		t.Fatal("patched fft has no barrier")
+	}
+	_, buggy := kindCount(t, "fft", 8, false)
+	if buggy[trace.KindBarrier] != 0 {
+		t.Fatalf("buggy fft has %d barrier events; the bug is its absence", buggy[trace.KindBarrier])
+	}
+}
+
+func TestLUBehavior(t *testing.T) {
+	_, k := kindCount(t, "lu", 12, true)
+	// 2 elimination steps x 4 phases x 3 parties of barrier arrivals.
+	if k[trace.KindBarrier] != 24 {
+		t.Fatalf("barrier arrivals = %d, want 24", k[trace.KindBarrier])
+	}
+	// The patched combine takes the pivot lock once per worker per step.
+	if k[trace.KindLock] < 4 {
+		t.Fatalf("pivot locking absent: %d", k[trace.KindLock])
+	}
+}
+
+func TestBarnesBehavior(t *testing.T) {
+	_, k := kindCount(t, "barnes", 10, true)
+	// Node allocation under the tree lock: one lock per inserted body.
+	if k[trace.KindLock] != 10 {
+		t.Fatalf("tree locks = %d, want 10", k[trace.KindLock])
+	}
+	// Walkers accumulate forces.
+	if k[trace.KindRMW] == 0 {
+		t.Fatal("walkers accumulated nothing")
+	}
+}
+
+func TestRadixBehavior(t *testing.T) {
+	_, k := kindCount(t, "radix", 8, true)
+	// Rank exchange: every acquire is matched by a release.
+	if k[trace.KindSemAcquire] != k[trace.KindSemRelease] {
+		t.Fatalf("semaphores unbalanced: %d acquires, %d releases",
+			k[trace.KindSemAcquire], k[trace.KindSemRelease])
+	}
+	if k[trace.KindSemAcquire] != 6 { // 3 workers x 2 semaphores
+		t.Fatalf("sem acquires = %d, want 6", k[trace.KindSemAcquire])
+	}
+}

@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sketch"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	progs := All()
+	if len(progs) != 11 {
+		t.Fatalf("corpus has %d programs, want 11", len(progs))
+	}
+	cats := map[string]int{}
+	for _, p := range progs {
+		cats[p.Category]++
+		if p.Run == nil {
+			t.Fatalf("%s has no Run", p.Name)
+		}
+		if len(p.Bugs) == 0 {
+			t.Fatalf("%s declares no bugs", p.Name)
+		}
+	}
+	if cats["server"] != 4 || cats["desktop"] != 3 || cats["scientific"] != 4 {
+		t.Fatalf("category mix = %v, want 4 servers / 3 desktop / 4 scientific", cats)
+	}
+	if len(AllBugs()) != 13 {
+		t.Fatalf("corpus has %d bugs, want 13", len(AllBugs()))
+	}
+	types := map[string]int{}
+	for _, b := range AllBugs() {
+		types[b.Type]++
+		p, ok := ProgramForBug(b.ID)
+		if !ok {
+			t.Fatalf("bug %s has no program", b.ID)
+		}
+		found := false
+		for _, id := range p.Bugs {
+			if id == b.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("program %s does not declare bug %s", p.Name, b.ID)
+		}
+	}
+	if types[TypeAtomicity] == 0 || types[TypeOrder] == 0 || types[TypeDeadlock] == 0 {
+		t.Fatalf("bug type mix = %v", types)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown program found")
+	}
+	if _, ok := GetBug("nope"); ok {
+		t.Fatal("unknown bug found")
+	}
+	if _, ok := ProgramForBug("nope"); ok {
+		t.Fatal("unknown bug mapped to a program")
+	}
+}
+
+// TestEachProgramHasCleanRuns: every program must complete without a
+// failure on at least one production seed — the bugs are schedule-
+// dependent, not unconditional.
+func TestEachProgramHasCleanRuns(t *testing.T) {
+	for _, p := range All() {
+		clean := false
+		for seed := int64(0); seed < 60 && !clean; seed++ {
+			rec := core.Record(p, core.Options{
+				Scheme:       sketch.BASE,
+				Processors:   4,
+				ScheduleSeed: seed,
+				WorldSeed:    1,
+				MaxSteps:     300_000,
+			})
+			if rec.Result.Failure == nil {
+				clean = true
+			} else if !rec.Result.Failure.IsBug() {
+				t.Fatalf("%s seed %d broke the harness: %v", p.Name, seed, rec.Result.Failure)
+			}
+		}
+		if !clean {
+			t.Errorf("%s never ran cleanly in 60 seeds", p.Name)
+		}
+	}
+}
+
+// TestEachBugManifests: every corpus bug must manifest on some
+// production seed within a reasonable search budget.
+func TestEachBugManifests(t *testing.T) {
+	for _, b := range AllBugs() {
+		seed, rec := findBuggySeed(t, b.ID, 2000)
+		if rec == nil {
+			t.Errorf("%s never manifested in 2000 seeds", b.ID)
+			continue
+		}
+		t.Logf("%-18s manifests at seed %d (step %d)", b.ID, seed, rec.Result.Failure.Step)
+	}
+}
+
+// findBuggySeed searches production seeds until the target bug fires.
+func findBuggySeed(t *testing.T, bugID string, budget int) (int64, *core.Recording) {
+	t.Helper()
+	prog, _ := ProgramForBug(bugID)
+	oracle := core.MatchBugID(bugID)
+	for seed := int64(0); seed < int64(budget); seed++ {
+		rec := core.Record(prog, core.Options{
+			Scheme:       sketch.SYNC,
+			Processors:   4,
+			ScheduleSeed: seed,
+			WorldSeed:    1,
+			MaxSteps:     300_000,
+		})
+		if f := rec.BugFailure(); f != nil && oracle(f) {
+			return seed, rec
+		}
+	}
+	return -1, nil
+}
+
+// TestEachBugReproduces is the corpus-wide integration test of the
+// paper's headline claim: record with SYNC sketching, then reproduce
+// with the intelligent replayer.
+func TestEachBugReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide reproduction is not short")
+	}
+	for _, b := range AllBugs() {
+		prog, _ := ProgramForBug(b.ID)
+		_, rec := findBuggySeed(t, b.ID, 2000)
+		if rec == nil {
+			t.Errorf("%s: no buggy seed", b.ID)
+			continue
+		}
+		res := core.Replay(prog, rec, core.ReplayOptions{
+			Feedback: true,
+			Oracle:   core.MatchBugID(b.ID),
+		})
+		if !res.Reproduced {
+			t.Errorf("%s: NOT reproduced in %d attempts (stats %+v)", b.ID, res.Attempts, res.Stats)
+			continue
+		}
+		t.Logf("%-18s reproduced in %d attempts (%d flips)", b.ID, res.Attempts, res.Flips)
+
+		// And once reproduced, it reproduces every time.
+		out := core.Reproduce(prog, rec, res.Order)
+		if out.Failure == nil || !out.Failure.IsBug() {
+			t.Errorf("%s: captured order did not re-reproduce (%v)", b.ID, out.Failure)
+		}
+	}
+}
+
+// TestDeadlockFailuresNamed: deadlock bugs must produce deadlock
+// failures with stuck-thread details.
+func TestDeadlockFailuresNamed(t *testing.T) {
+	for _, id := range []string{"openldap-deadlock", "radix-deadlock"} {
+
+		_, rec := findBuggySeed(t, id, 2000)
+		if rec == nil {
+			t.Errorf("%s: no buggy seed", id)
+			continue
+		}
+		f := rec.Result.Failure
+		if f.Reason != sched.ReasonDeadlock {
+			t.Errorf("%s: reason = %v", id, f.Reason)
+		}
+		if len(f.Stuck) == 0 {
+			t.Errorf("%s: no stuck threads reported", id)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+func recordOnce(t *testing.T, name string, seed int64, fixed bool) *core.Recording {
+	t.Helper()
+	p, ok := Get(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return core.Record(p, core.Options{
+		Scheme:       sketch.RW,
+		Processors:   4,
+		ScheduleSeed: seed,
+		WorldSeed:    1,
+		MaxSteps:     500_000,
+		FixBugs:      fixed,
+	})
+}
+
+// TestAppsDeterministicPerSeed: every application's full event volume is
+// identical across two recordings with the same seed.
+func TestAppsDeterministicPerSeed(t *testing.T) {
+	for _, p := range All() {
+		a := recordOnce(t, p.Name, 11, true)
+		b := recordOnce(t, p.Name, 11, true)
+		if a.Sketch.Len() != b.Sketch.Len() || a.Result.Steps != b.Result.Steps {
+			t.Errorf("%s: nondeterministic recordings (%d/%d steps vs %d/%d)",
+				p.Name, a.Sketch.Len(), a.Result.Steps, b.Sketch.Len(), b.Result.Steps)
+		}
+	}
+}
+
+// TestAppsThreadStructure: thread counts match each model's documented
+// role mix.
+func TestAppsThreadStructure(t *testing.T) {
+	want := map[string]int{
+		"mysqld":       5, // main + 3 workers + rotator
+		"apached":      4, // main + 3 workers
+		"openldapd":    3, // main + 2 workers
+		"cherokeed":    4, // main + 3 workers
+		"pbzip2":       4, // main + producer + 2 consumers
+		"aget":         4, // main + 2 workers + signal handler
+		"transmission": 3, // main + 2 peers
+		"fft":          5, // main + 4 workers
+		"lu":           3, // main + 2 workers
+		"barnes":       4, // main + builder + 2 walkers
+		"radix":        4, // main + 3 workers
+	}
+	for _, p := range All() {
+		rec := recordOnce(t, p.Name, 3, true)
+		if rec.Result.Threads != want[p.Name] {
+			t.Errorf("%s: %d threads, want %d", p.Name, rec.Result.Threads, want[p.Name])
+		}
+	}
+}
+
+// TestAppsEventProfiles: the per-category instrumentation mixes that
+// drive the overhead experiments must hold structurally.
+func TestAppsEventProfiles(t *testing.T) {
+	for _, p := range All() {
+		rec := recordOnce(t, p.Name, 3, true)
+		k := rec.Result.EventsByKind
+		syscalls := k[trace.KindSyscall]
+		barriers := k[trace.KindBarrier]
+		locks := k[trace.KindLock]
+		mem := k[trace.KindLoad] + k[trace.KindStore] + k[trace.KindRMW]
+		if mem == 0 {
+			t.Errorf("%s: no shared-memory traffic", p.Name)
+		}
+		switch p.Category {
+		case "server":
+			if syscalls < 10 {
+				t.Errorf("%s: server with only %d syscalls", p.Name, syscalls)
+			}
+			if locks == 0 {
+				t.Errorf("%s: server without locking", p.Name)
+			}
+		case "scientific":
+			if p.Name == "fft" || p.Name == "lu" {
+				if barriers == 0 {
+					t.Errorf("%s: kernel without barriers", p.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlockBugsReportCycles: the corpus deadlocks must come with an
+// extracted waits-for cycle naming the deadlocked threads.
+func TestDeadlockBugsReportCycles(t *testing.T) {
+	for _, id := range []string{"openldap-deadlock"} {
+		prog, _ := ProgramForBug(id)
+		oracle := core.MatchBugID(id)
+		var f *sched.Failure
+		for seed := int64(0); seed < 2000; seed++ {
+			rec := core.Record(prog, core.Options{
+				Scheme: sketch.SYNC, Processors: 4, ScheduleSeed: seed, WorldSeed: 1, MaxSteps: 300_000,
+			})
+			if g := rec.BugFailure(); g != nil && oracle(g) {
+				f = g
+				break
+			}
+		}
+		if f == nil {
+			t.Fatalf("%s never manifested", id)
+		}
+		if len(f.Cycle) < 2 {
+			t.Errorf("%s: no waits-for cycle extracted (%v)", id, f.Msg)
+		}
+	}
+}
+
+// TestScaleKnobGrowsWork: doubling the scale must grow every app's
+// instrumented work.
+func TestScaleKnobGrowsWork(t *testing.T) {
+	for _, p := range All() {
+		small := core.Record(p, core.Options{
+			Scheme: sketch.BASE, ScheduleSeed: 1, WorldSeed: 1, Scale: 20, MaxSteps: 2_000_000, FixBugs: true,
+		})
+		big := core.Record(p, core.Options{
+			Scheme: sketch.BASE, ScheduleSeed: 1, WorldSeed: 1, Scale: 80, MaxSteps: 2_000_000, FixBugs: true,
+		})
+		if small.Result.Failure != nil || big.Result.Failure != nil {
+			t.Errorf("%s: scaled fixed run failed (%v / %v)", p.Name, small.Result.Failure, big.Result.Failure)
+			continue
+		}
+		if big.Result.Steps <= small.Result.Steps {
+			t.Errorf("%s: scale 80 (%d steps) not larger than scale 20 (%d)",
+				p.Name, big.Result.Steps, small.Result.Steps)
+		}
+	}
+}
+
+// TestBugAssertionsCarryContext: manifested failures carry the bug id,
+// the failing thread and a human-readable message.
+func TestBugAssertionsCarryContext(t *testing.T) {
+	_, rec := findBuggySeed(t, "fft-barrier", 2000)
+	if rec == nil {
+		t.Fatal("no buggy seed")
+	}
+	f := rec.Result.Failure
+	if f.BugID != "fft-barrier" || f.Msg == "" || f.Step == 0 {
+		t.Fatalf("failure lacks context: %+v", f)
+	}
+}

@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// barnes models the SPLASH-2 Barnes-Hut N-body kernel's tree-build
+// phase: builder threads insert bodies into a shared tree while walker
+// threads traverse it to accumulate forces (the original overlaps build
+// and force phases for cells that are "done").
+//
+// Modelled bug:
+//
+//   - barnes-order (order violation): an insert publishes the child
+//     pointer in the parent before initializing the child's body (mass,
+//     center). A concurrent walker that follows the fresh pointer reads
+//     an uninitialized node — the original garbage-force defect,
+//     caught by the node's ready tag at the read.
+func barnes() *appkit.Program {
+	return &appkit.Program{
+		Name:     "barnes",
+		Category: "scientific",
+		Bugs:     []string{"barnes-order"},
+		Run:      runBarnes,
+	}
+}
+
+func runBarnes(env *appkit.Env) {
+	th := env.T
+	nBodies := env.ScaleOr(6)
+
+	const maxNodes = 64
+	const readyTag = 0xA11
+	// Node layout: children (slot per node), mass, ready-tag.
+	children := mem.NewArray("barnes.children", maxNodes)
+	mass := mem.NewArray("barnes.mass", maxNodes)
+	ready := mem.NewArray("barnes.ready", maxNodes)
+	nextNode := mem.NewCell("barnes.next_node", 1) // 0 is the root
+	treeLock := ssync.NewMutex("barnes.tree_lock")
+	forces := mem.NewCell("barnes.force_acc", 0)
+
+	// Root is initialized before the workers start.
+	ready.Poke(0, readyTag)
+	mass.Poke(0, 1)
+
+	insert := func(t *sched.Thread, body int) {
+		appkit.Func(t, "barnes.insert_body", func() {
+			// Walk the tree to the insertion cell: private traversal.
+			appkit.Block(t, "barnes.tree_walk", 300)
+			// Allocate a node id under the tree lock (synchronized, as
+			// in the original).
+			treeLock.Lock(t)
+			id := nextNode.Load(t)
+			nextNode.Store(t, id+1)
+			treeLock.Unlock(t)
+			if id >= maxNodes {
+				return
+			}
+			parent := uint64(body) % id // walk shortened to a hash step
+			if env.FixBugs {
+				// Patched: initialize, then publish.
+				appkit.BB(t, "barnes.init_node")
+				mass.Store(t, int(id), uint64(body)+1)
+				ready.Store(t, int(id), readyTag)
+				appkit.BB(t, "barnes.link_child")
+				children.Store(t, int(parent), id)
+				return
+			}
+			appkit.BB(t, "barnes.link_child")
+			// BUG: the child pointer is published first...
+			children.Store(t, int(parent), id)
+			// ...and the node body is initialized after the link.
+			appkit.BB(t, "barnes.init_node")
+			mass.Store(t, int(id), uint64(body)+1)
+			ready.Store(t, int(id), readyTag)
+		})
+	}
+
+	walk := func(t *sched.Thread, start int) {
+		appkit.Func(t, "barnes.walk", func() {
+			node := uint64(start) % 4
+			for hop := 0; hop < 3; hop++ {
+				appkit.Block(t, "barnes.force_math", 600)
+				child := children.Load(t, int(node%maxNodes))
+				if child == 0 || child >= maxNodes {
+					break
+				}
+				tag := ready.Load(t, int(child))
+				t.Check(tag == readyTag, "barnes-order",
+					"walker read node %d before init (tag=%#x)", child, tag)
+				m := mass.Load(t, int(child))
+				forces.Add(t, m%1000)
+				node = child
+			}
+		})
+	}
+
+	builder := th.Spawn("barnes-builder", func(t *sched.Thread) {
+		for b := 1; b <= nBodies; b++ {
+			insert(t, b)
+		}
+	})
+	var walkers []*sched.Thread
+	for i := 0; i < 2; i++ {
+		start := i + 1
+		walkers = append(walkers, th.Spawn(fmt.Sprintf("barnes-walker%d", i), func(t *sched.Thread) {
+			for round := 0; round < nBodies/2+1; round++ {
+				walk(t, start+round)
+			}
+		}))
+	}
+
+	th.Join(builder)
+	for _, wk := range walkers {
+		th.Join(wk)
+	}
+}

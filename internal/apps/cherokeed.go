@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// cherokeed models the Cherokee web server's shared cached date-string:
+// every response header carries the current time, and to avoid
+// reformatting it per request the server caches the formatted string in
+// a shared buffer, regenerating it when the second changes.
+//
+// Modelled bug:
+//
+//   - cherokee-326 (atomicity violation): the regeneration writes the
+//     buffer cells one by one with no lock while other workers read
+//     them; a reader that overlaps a writer (or two writers that
+//     overlap) sees a half-old half-new string — the original corrupted
+//     Date: header.
+func cherokeed() *appkit.Program {
+	return &appkit.Program{
+		Name:     "cherokeed",
+		Category: "server",
+		Bugs:     []string{"cherokee-326"},
+		Run:      runCherokeed,
+	}
+}
+
+func runCherokeed(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nReq := env.ScaleOr(10)
+	nWorkers := 3
+
+	const bufLen = 4
+	timeBuf := mem.NewArray("cherokee.time_buf", bufLen) // formatted date cells
+	// The sentinel forces a regeneration on the first request so the
+	// buffer is never read in its zeroed state.
+	cachedSec := mem.NewCell("cherokee.cached_sec", ^uint64(0))
+	served := mem.NewCell("cherokee.served", 0)
+	cacheLock := ssync.NewMutex("cherokee.cache_lock") // taken only when FixBugs
+	reqQ := w.NewQueue("cherokee.listener")
+
+	respond := func(t *sched.Thread) {
+		appkit.Func(t, "cherokee.build_header", func() {
+			// Serve the static file body: private work per request.
+			appkit.Block(t, "cherokee.serve_static", 3000)
+			now := w.Now(t) / 16 // seconds granularity
+			appkit.BB(t, "cherokee.check_cache")
+			if env.FixBugs { // patched: regen+copy under the cache lock
+				cacheLock.Lock(t)
+				defer cacheLock.Unlock(t)
+			}
+			if cachedSec.Load(t) != now {
+				// Regenerate the cached date string — unlocked, cell by
+				// cell (the cherokee-326 window).
+				appkit.BB(t, "cherokee.regen")
+				cachedSec.Store(t, now)
+				// strftime into the shared buffer, cell by cell.
+				for k := 0; k < bufLen; k++ {
+					appkit.Block(t, "cherokee.strftime", 8)
+					timeBuf.Store(t, k, now*10+uint64(k))
+				}
+			}
+			// Copy the cached string into the response and validate it
+			// is coherent (all cells from the same generation).
+			appkit.BB(t, "cherokee.copy_header")
+			first := timeBuf.Load(t, 0)
+			for k := 1; k < bufLen; k++ {
+				v := timeBuf.Load(t, k)
+				t.Check(v == first+uint64(k), "cherokee-326",
+					"torn date header: cell0=%d cell%d=%d", first, k, v)
+			}
+			served.Add(t, 1)
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		workers = append(workers, th.Spawn(fmt.Sprintf("cherokee-worker%d", i), func(t *sched.Thread) {
+			for {
+				appkit.BB(t, "cherokee.worker_loop")
+				_, ok := reqQ.Recv(t)
+				if !ok {
+					return
+				}
+				respond(t)
+			}
+		}))
+	}
+
+	for i := 0; i < nReq; i++ {
+		reqQ.Send(th, []byte{byte(i)})
+	}
+	reqQ.Close(th)
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+	th.Check(served.Peek() <= uint64(nReq), "cherokee-internal", "served more than requested")
+}

@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// fft models the SPLASH-2 FFT kernel's structure: each worker computes a
+// butterfly pass over its rows of the matrix, the workers transpose
+// tiles pairwise, and a final pass completes the transform. The real
+// kernel separates the phases with barriers.
+//
+// Modelled bug:
+//
+//   - fft-barrier (order violation): the barrier between the local
+//     butterfly phase and the transpose was missing on one path (the
+//     original used a hand-rolled flag instead), so a worker can read
+//     its partner's tile before the partner has written it. Each tile
+//     carries a phase tag the reader validates — a stale tag is the
+//     original wrong-results defect, caught at the source.
+func fft() *appkit.Program {
+	return &appkit.Program{
+		Name:     "fft",
+		Category: "scientific",
+		Bugs:     []string{"fft-barrier"},
+		Run:      runFFT,
+	}
+}
+
+func runFFT(env *appkit.Env) {
+	th := env.T
+	nWorkers := 4
+	rows := env.ScaleOr(4) // rows per worker
+
+	const phaseTag = 1
+	data := mem.NewArray("fft.matrix", nWorkers*rows*2) // interleaved re/im
+	tileTag := mem.NewArray("fft.tile_tag", nWorkers)   // per-worker phase tag
+	sync1 := ssync.NewBarrier("fft.phase1_barrier", nWorkers)
+
+	butterfly := func(t *sched.Thread, wid int) {
+		appkit.Func(t, "fft.butterfly", func() {
+			base := wid * rows * 2
+			for r := 0; r < rows; r++ {
+				appkit.Block(t, "fft.twiddle_math", 200)
+				re := data.Load(t, base+2*r)
+				im := data.Load(t, base+2*r+1)
+				// Radix-2 butterfly with a fixed twiddle (3,5 scaled).
+				nre := re*3 - im*5
+				nim := re*5 + im*3
+				data.Store(t, base+2*r, nre)
+				data.Store(t, base+2*r+1, nim)
+			}
+			// Publish "phase 1 done" for this tile.
+			tileTag.Store(t, wid, phaseTag)
+		})
+	}
+
+	transpose := func(t *sched.Thread, wid int) {
+		appkit.Func(t, "fft.transpose", func() {
+			partner := (wid + 1) % nWorkers
+			appkit.BB(t, "fft.transpose_read")
+			// BUG: no barrier before reading the partner's tile.
+			tag := tileTag.Load(t, partner)
+			t.Check(tag == phaseTag, "fft-barrier",
+				"worker %d transposed tile %d before its butterfly finished", wid, partner)
+			pbase := partner * rows * 2
+			mybase := wid * rows * 2
+			for r := 0; r < rows; r++ {
+				appkit.Block(t, "fft.transpose_math", 100)
+				re := data.Load(t, pbase+2*r)
+				my := data.Load(t, mybase+2*r)
+				data.Store(t, mybase+2*r, re+my)
+			}
+		})
+	}
+
+	// Seed the input signal.
+	for i := 0; i < data.Len(); i++ {
+		data.Poke(i, uint64(i%7+1))
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		wid := i
+		workers = append(workers, th.Spawn(fmt.Sprintf("fft-worker%d", i), func(t *sched.Thread) {
+			butterfly(t, wid)
+			// The bit-reverse permutation of the local rows runs before
+			// the transpose; under normal timing it outlasts whatever
+			// head start a peer still needs to publish its tile, which
+			// is why the missing barrier "almost always" worked.
+			appkit.Block(t, "fft.bit_reverse", 120*rows)
+			if env.FixBugs {
+				sync1.Await(t) // the missing barrier
+			}
+			transpose(t, wid)
+		}))
+	}
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+}

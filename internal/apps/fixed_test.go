@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// TestFixedVariantsNeverFail is the ground truth that every corpus
+// failure really is the documented race: with the patched code paths
+// enabled, no schedule in a broad sweep manifests anything.
+func TestFixedVariantsNeverFail(t *testing.T) {
+	for _, p := range All() {
+		for seed := int64(0); seed < 60; seed++ {
+			rec := core.Record(p, core.Options{
+				Scheme:       sketch.BASE,
+				Processors:   8,
+				Preempt:      0.1,
+				ScheduleSeed: seed,
+				WorldSeed:    1,
+				MaxSteps:     300_000,
+				FixBugs:      true,
+			})
+			if rec.Result.Failure != nil {
+				t.Errorf("%s (fixed) seed %d failed: %v", p.Name, seed, rec.Result.Failure)
+				break
+			}
+		}
+	}
+}
+
+// TestFixedVariantsScaleUp: the patched programs must also survive the
+// larger workloads the overhead experiments use.
+func TestFixedVariantsScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled runs are not short")
+	}
+	for _, p := range All() {
+		rec := core.Record(p, core.Options{
+			Scheme:       sketch.RW,
+			Processors:   4,
+			ScheduleSeed: 1,
+			WorldSeed:    1,
+			Scale:        200,
+			MaxSteps:     2_000_000,
+			FixBugs:      true,
+		})
+		if rec.Result.Failure != nil {
+			t.Errorf("%s (fixed, scale 200) failed: %v", p.Name, rec.Result.Failure)
+		}
+		if rec.Sketch.TotalOps < 1000 {
+			t.Errorf("%s: scaled workload only %d ops; scale knob not wired?", p.Name, rec.Sketch.TotalOps)
+		}
+	}
+}

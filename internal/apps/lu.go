@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// lu models the SPLASH-2 LU decomposition kernel with partial pivoting:
+// for each elimination step, workers scan their share of the pivot
+// column for the local maximum, the maxima are combined into a global
+// pivot, and workers then eliminate their rows using it. Barriers
+// separate the scan/combine/eliminate phases — except the combine.
+//
+// Modelled bug:
+//
+//   - lu-atomicity (atomicity violation): the combine is an unlocked
+//     check-then-act (if local > gmax then gmax = local); two workers
+//     interleaving lose the true maximum, selecting a wrong pivot. The
+//     per-step verification against a sequential re-scan is the
+//     original wrong-answer defect, caught at the step that loses it.
+func lu() *appkit.Program {
+	return &appkit.Program{
+		Name:     "lu",
+		Category: "scientific",
+		Bugs:     []string{"lu-atomicity"},
+		Run:      runLU,
+	}
+}
+
+func runLU(env *appkit.Env) {
+	th := env.T
+	nWorkers := 2
+	n := env.ScaleOr(6) // matrix dimension (n x n)
+	steps := 2
+	if steps > n-1 {
+		steps = n - 1
+	}
+
+	matrix := mem.NewMatrix("lu.matrix", n, n)
+	gmax := mem.NewCell("lu.gmax", 0)
+	pivotLock := ssync.NewMutex("lu.pivot_lock")              // taken only when FixBugs
+	phase := ssync.NewBarrier("lu.phase_barrier", nWorkers+1) // workers + main verifier
+
+	// Deterministic, non-trivially ordered matrix.
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := r*n + c
+			matrix.Poke(r, c, uint64((i*2654435761)%1000)+1)
+		}
+	}
+
+	scanAndCombine := func(t *sched.Thread, wid, step int) {
+		appkit.Func(t, "lu.pivot_scan", func() {
+			// Local max over this worker's share of column `step`.
+			var local uint64
+			for r := step + wid; r < n; r += nWorkers {
+				appkit.Block(t, "lu.scan_arith", 100)
+				v := matrix.Load(t, r, step)
+				if v > local {
+					local = v
+				}
+			}
+			// BUG: unlocked check-then-act on the global maximum. The
+			// patched variant holds the pivot lock across the pair.
+			appkit.BB(t, "lu.combine")
+			if env.FixBugs {
+				pivotLock.Lock(t)
+			}
+			g := gmax.Load(t)
+			if local > g {
+				gmax.Store(t, local)
+			}
+			if env.FixBugs {
+				pivotLock.Unlock(t)
+			}
+		})
+	}
+
+	eliminate := func(t *sched.Thread, wid, step int) {
+		appkit.Func(t, "lu.eliminate", func() {
+			p := gmax.Load(t)
+			if p == 0 {
+				return
+			}
+			pv0 := matrix.Load(t, step, step) // pivot row head
+			for r := step + 1 + wid; r < n; r += nWorkers {
+				// The row update streams through n-step elements of
+				// private arithmetic (three accesses per element); only
+				// the pivot-column cell is re-read by later phases, so
+				// it is the one shared access per row.
+				appkit.Block(t, "lu.row_stream", 3*(n-step))
+				head := matrix.Load(t, r, step)
+				factor := head / p
+				matrix.Store(t, r, step, head+factor*pv0%97)
+			}
+		})
+	}
+
+	// Each step has four barrier-separated phases:
+	//   scan+combine | verify (main) | eliminate | reset (main)
+	// Every gmax access except the buggy combine is barrier-ordered.
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		wid := i
+		workers = append(workers, th.Spawn(fmt.Sprintf("lu-worker%d", i), func(t *sched.Thread) {
+			for step := 0; step < steps; step++ {
+				scanAndCombine(t, wid, step)
+				phase.Await(t) // A: scans done
+				phase.Await(t) // B: verify done
+				eliminate(t, wid, step)
+				phase.Await(t) // C: eliminate done
+				phase.Await(t) // D: reset done
+			}
+		}))
+	}
+
+	for step := 0; step < steps; step++ {
+		phase.Await(th) // A: wait for the scans
+		// Verify the pivot against a sequential re-scan; a lost update
+		// in the combine is the manifested bug.
+		appkit.Func(th, "lu.verify_pivot", func() {
+			var want uint64
+			for r := step; r < n; r++ {
+				appkit.BB(th, "lu.verify_row")
+				v := matrix.Load(th, r, step)
+				if v > want {
+					want = v
+				}
+			}
+			got := gmax.Load(th)
+			th.Check(got == want, "lu-atomicity",
+				"step %d pivot lost: combined %d, true max %d", step, got, want)
+		})
+		phase.Await(th) // B: release the eliminate phase
+		phase.Await(th) // C: eliminate done
+		gmax.Store(th, 0)
+		phase.Await(th) // D: next step may combine
+	}
+
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+}

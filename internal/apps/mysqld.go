@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// mysqld models a MySQL-like storage engine. Worker threads pop
+// INSERT/DELETE requests from a client queue, update a bucketed row
+// store under the table lock (correctly synchronized), and append a
+// change record to the binary log; a rotator thread periodically rotates
+// the binlog like FLUSH LOGS does.
+//
+// Two real-world bugs are modelled:
+//
+//   - mysql-169 (atomicity violation): the binlog append is a
+//     non-atomic reserve (read loglen) + copy (write record slots) +
+//     publish (write loglen). Two workers that interleave inside the
+//     window reserve the same slot and clobber each other's records.
+//
+//   - mysql-791 (atomicity violation, multi-variable): workers check
+//     log_open before the low-level write, but the rotator closes and
+//     reopens the log between the check and the write, so the write
+//     lands on a closed log — the original crash.
+func mysqld() *appkit.Program {
+	return &appkit.Program{
+		Name:     "mysqld",
+		Category: "server",
+		Bugs:     []string{"mysql-169", "mysql-791"},
+		Run:      runMysqld,
+	}
+}
+
+func runMysqld(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nReq := env.ScaleOr(10)
+	nWorkers := 3
+
+	const nBuckets = 16
+	const logCap = 1024
+	buckets := mem.NewArray("mysql.buckets", nBuckets)
+	tableLock := ssync.NewMutex("mysql.table_lock")
+	binlog := mem.NewArray("mysql.binlog", logCap)
+	payload := mem.NewArray("mysql.binlog_payload", logCap)
+	logLen := mem.NewCell("mysql.loglen", 0)
+	logOpen := mem.NewCell("mysql.log_open", 1)
+	logLock := ssync.NewMutex("mysql.log_lock") // taken only when FixBugs
+	reqQ := w.NewQueue("mysql.client_socket")
+	logFd := w.Open(th, "/var/lib/mysql/binlog.000001")
+
+	execute := func(t *sched.Thread, seq int, req []byte) {
+		key := uint64(req[0])<<8 | uint64(req[1])
+		tag := uint64(seq)*1_000_003 + key + 1
+
+		appkit.Func(t, "mysql.execute", func() {
+			// Parse, plan and prepare the statement: straight-line
+			// private work, the bulk of a simple query's instructions.
+			appkit.Block(t, "mysql.parse_plan", 12000)
+			// Row-store update: correctly protected by the table lock.
+			appkit.BB(t, "mysql.store_row")
+			tableLock.Lock(t)
+			b := int(key % nBuckets)
+			rows := buckets.Load(t, b)
+			buckets.Store(t, b, rows+1)
+			tableLock.Unlock(t)
+
+			// Binlog append: the buggy unprotected fast path. The fix
+			// (patched variant) serializes appends and rotation with
+			// the log lock, making reserve+copy+publish atomic
+			// (mysql-169) and the open-check/write atomic (mysql-791).
+			appkit.BB(t, "mysql.binlog_append")
+			if env.FixBugs {
+				logLock.Lock(t)
+				defer logLock.Unlock(t)
+			}
+			if logOpen.Load(t) != 1 {
+				return // log rotating; the request skips binlogging
+			}
+			l := logLen.Load(t) // reserve (mysql-169 window opens)
+			slot := int(l % logCap)
+			binlog.Store(t, slot, tag)
+			// Copy the statement body into the reserved slot — the
+			// window between reserve and publish spans this copy.
+			appkit.Block(t, "mysql.binlog_copy", 40)
+			payload.Store(t, slot, key)
+			got := binlog.Load(t, slot) // record trailer validation
+			t.Check(got == tag, "mysql-169",
+				"binlog record %d clobbered: wrote %d, found %d", l, tag, got)
+			logLen.Store(t, l+1) // publish
+
+			// Low-level write: crashes if the rotator closed the log
+			// inside the check-to-write window (mysql-791).
+			open := logOpen.Load(t)
+			t.Check(open == 1, "mysql-791", "write to closed binlog (record %d)", l)
+			logFd.Write(t, req)
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		workers = append(workers, th.Spawn(fmt.Sprintf("mysqld-worker%d", i), func(t *sched.Thread) {
+			seq := 0
+			for {
+				appkit.BB(t, "mysql.worker_loop")
+				req, ok := reqQ.Recv(t)
+				if !ok {
+					return
+				}
+				execute(t, int(t.ID())*10000+seq, req)
+				seq++
+			}
+		}))
+	}
+
+	rotations := 1 + nReq/6
+	rotator := th.Spawn("mysqld-rotator", func(t *sched.Thread) {
+		for r := 0; r < rotations; r++ {
+			w.Sleep(t, 40)
+			appkit.Func(t, "mysql.rotate_log", func() {
+				appkit.BB(t, "mysql.rotate")
+				if env.FixBugs {
+					logLock.Lock(t)
+					defer logLock.Unlock(t)
+				}
+				logOpen.Store(t, 0)
+				logFd.Close(t)
+				logFd = w.Open(t, fmt.Sprintf("/var/lib/mysql/binlog.%06d", r+2))
+				logLen.Store(t, 0)
+				logOpen.Store(t, 1)
+			})
+		}
+	})
+
+	// The client driver: issue randomized requests, then hang up.
+	for i := 0; i < nReq; i++ {
+		k := w.Rand(th)
+		reqQ.Send(th, []byte{byte(k >> 8), byte(k), 'I'})
+	}
+	reqQ.Close(th)
+
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+	th.Join(rotator)
+	logFd.Close(th)
+}

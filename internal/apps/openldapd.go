@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// openldapd models an OpenLDAP-like directory server: worker threads
+// execute SEARCH and UNBIND operations against an entry index and a
+// per-connection structure, each protected by its own mutex.
+//
+// Modelled bug:
+//
+//   - openldap-deadlock: SEARCH locks the connection then the index
+//     (conn -> index) while UNBIND tears down in the opposite order
+//     (index -> conn). When a search and an unbind interleave, each
+//     holds one lock and waits for the other — the classic inversion
+//     deadlock of the original report.
+func openldapd() *appkit.Program {
+	return &appkit.Program{
+		Name:     "openldapd",
+		Category: "server",
+		Bugs:     []string{"openldap-deadlock"},
+		Run:      runOpenldapd,
+	}
+}
+
+func runOpenldapd(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nOps := env.ScaleOr(8)
+
+	const nEntries = 32
+	index := mem.NewArray("ldap.entry_index", nEntries)
+	connRefs := mem.NewCell("ldap.conn_refs", 0)
+	indexLock := ssync.NewMutex("ldap.index_lock")
+	connLock := ssync.NewMutex("ldap.conn_lock")
+	opQ := w.NewQueue("ldap.ops")
+
+	search := func(t *sched.Thread, key uint64) {
+		appkit.Func(t, "ldap.do_search", func() {
+			// Decode the BER-encoded request and evaluate the filter:
+			// private work before any locking.
+			appkit.Block(t, "ldap.ber_decode", 5000)
+			appkit.BB(t, "ldap.search_lock")
+			connLock.Lock(t) // conn first...
+			// Parse the ber-encoded filter while holding the conn.
+			appkit.Block(t, "ldap.ber_parse", 150)
+			indexLock.Lock(t) // ...then index: A->B
+			refs := connRefs.Load(t)
+			connRefs.Store(t, refs+1)
+			appkit.BB(t, "ldap.search_scan")
+			sum := uint64(0)
+			for k := 0; k < 4; k++ {
+				sum += index.Load(t, int((key+uint64(k))%nEntries))
+			}
+			index.Store(t, int(key%nEntries), sum+1)
+			indexLock.Unlock(t)
+			refs = connRefs.Load(t)
+			connRefs.Store(t, refs-1)
+			connLock.Unlock(t)
+		})
+	}
+
+	unbind := func(t *sched.Thread, key uint64) {
+		appkit.Func(t, "ldap.do_unbind", func() {
+			appkit.Block(t, "ldap.conn_teardown_work", 2000)
+			appkit.BB(t, "ldap.unbind_lock")
+			if env.FixBugs { // patched: same order as search
+				connLock.Lock(t)
+				indexLock.Lock(t)
+			} else {
+				indexLock.Lock(t) // index first...
+				// Purge the id2entry cache while holding the index.
+				appkit.Block(t, "ldap.cache_purge", 100)
+				connLock.Lock(t) // ...then conn: B->A (the inversion)
+			}
+			index.Store(t, int(key%nEntries), 0)
+			index.Store(t, int((key+1)%nEntries), 0)
+			appkit.BB(t, "ldap.unbind_teardown")
+			refs := connRefs.Load(t)
+			connRefs.Store(t, refs)
+			if env.FixBugs {
+				indexLock.Unlock(t)
+				connLock.Unlock(t)
+			} else {
+				connLock.Unlock(t)
+				indexLock.Unlock(t)
+			}
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < 2; i++ {
+		workers = append(workers, th.Spawn(fmt.Sprintf("ldap-worker%d", i), func(t *sched.Thread) {
+			for {
+				appkit.BB(t, "ldap.worker_loop")
+				op, ok := opQ.Recv(t)
+				if !ok {
+					return
+				}
+				key := uint64(op[1])
+				if op[0] == 'S' {
+					search(t, key)
+				} else {
+					unbind(t, key)
+				}
+			}
+		}))
+	}
+
+	for i := 0; i < nOps; i++ {
+		r := w.Rand(th)
+		// Every session eventually unbinds: a quarter of the ops are
+		// unbinds regardless of the search key distribution.
+		kind := byte('S')
+		if i%4 == 3 {
+			kind = 'U'
+		}
+		opQ.Send(th, []byte{kind, byte(r >> 8)})
+	}
+	opQ.Close(th)
+
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+}

@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// pbzip2 models the parallel bzip2 compressor: a producer splits the
+// input file into blocks and feeds a bounded work queue; consumer
+// threads compress blocks (a real bit-mixing pass over the block) and
+// store results into an output table; the main thread writes the output
+// file once everything is done.
+//
+// Modelled bug:
+//
+//   - pbzip2-order (order violation): the original main() deletes the
+//     shared output queue when it believes all blocks are written, but
+//     it checks a counter the consumers update *before* their final
+//     queue access — so teardown can free the queue while a consumer
+//     still touches it (the real use-after-free crash).
+func pbzip2() *appkit.Program {
+	return &appkit.Program{
+		Name:     "pbzip2",
+		Category: "desktop",
+		Bugs:     []string{"pbzip2-order"},
+		Run:      runPbzip2,
+	}
+}
+
+func runPbzip2(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nBlocks := env.ScaleOr(6)
+	nConsumers := 2
+
+	const blockWords = 4
+	input := mem.NewArray("pbzip2.input", nBlocks*blockWords)
+	output := mem.NewArray("pbzip2.output", nBlocks)
+	queueFreed := mem.NewCell("pbzip2.queue_freed", 0)
+	outDone := ssync.NewWaitGroup("pbzip2.blocks_done")
+	qLock := ssync.NewMutex("pbzip2.fifo_lock")
+	notEmpty := ssync.NewCond("pbzip2.fifo_not_empty")
+	notFull := ssync.NewCond("pbzip2.fifo_not_full")
+	const fifoCap = 4
+	fifo := mem.NewArray("pbzip2.fifo", fifoCap)
+	fifoHead := mem.NewCell("pbzip2.fifo_head", 0)
+	fifoTail := mem.NewCell("pbzip2.fifo_tail", 0)
+
+	// Seed the input "file" deterministically.
+	for i := 0; i < input.Len(); i++ {
+		input.Poke(i, uint64(i)*2654435761+17)
+	}
+	outDone.Add(th, nBlocks)
+
+	compress := func(t *sched.Thread, blk int) uint64 {
+		var h uint64 = 14695981039346656037
+		appkit.Func(t, "pbzip2.compress_block", func() {
+			// The BWT+Huffman kernel: heavy private compute per block.
+			appkit.Block(t, "pbzip2.bzip2_kernel", 40000)
+			for k := 0; k < blockWords; k++ {
+				appkit.BB(t, "pbzip2.compress_loop")
+				v := input.Load(t, blk*blockWords+k)
+				h = (h ^ v) * 1099511628211
+				h ^= h >> 29
+			}
+		})
+		return h
+	}
+
+	producer := th.Spawn("pbzip2-producer", func(t *sched.Thread) {
+		fd := w.Open(t, "/tmp/in.tar")
+		push := func(item uint64) {
+			qLock.Lock(t)
+			for fifoTail.Load(t)-fifoHead.Load(t) == fifoCap {
+				notFull.Wait(t, qLock)
+			}
+			tail := fifoTail.Load(t)
+			fifo.Store(t, int(tail)%fifo.Len(), item)
+			fifoTail.Store(t, tail+1)
+			notEmpty.Signal(t, qLock)
+			qLock.Unlock(t)
+		}
+		for b := 0; b < nBlocks; b++ {
+			appkit.BB(t, "pbzip2.read_block")
+			fd.Read(t, make([]byte, 8))
+			push(uint64(b) + 1)
+		}
+		// Sentinel per consumer terminates their loops.
+		for c := 0; c < nConsumers; c++ {
+			push(0)
+		}
+		fd.Close(t)
+	})
+
+	var consumers []*sched.Thread
+	for c := 0; c < nConsumers; c++ {
+		consumers = append(consumers, th.Spawn(fmt.Sprintf("pbzip2-consumer%d", c), func(t *sched.Thread) {
+			for {
+				appkit.BB(t, "pbzip2.consumer_loop")
+				qLock.Lock(t)
+				for fifoHead.Load(t) == fifoTail.Load(t) {
+					notEmpty.Wait(t, qLock)
+				}
+				head := fifoHead.Load(t)
+				item := fifo.Load(t, int(head)%fifo.Len())
+				fifoHead.Store(t, head+1)
+				notFull.Signal(t, qLock)
+				qLock.Unlock(t)
+				if item == 0 {
+					return // sentinel
+				}
+				blk := int(item - 1)
+				sum := compress(t, blk)
+				output.Store(t, blk, sum)
+				// BUG: progress published before the consumer's final
+				// queue touch — main may free the fifo in the window.
+				outDone.Done(t)
+				appkit.BB(t, "pbzip2.requeue_stats")
+				freed := queueFreed.Load(t) // the racing late queue access
+				t.Check(freed == 0, "pbzip2-order",
+					"consumer touched the fifo after main freed it (block %d)", blk)
+				fifoStats := fifo.Load(t, fifo.Len()-1)
+				_ = fifoStats
+			}
+		}))
+	}
+
+	// BUG: main tears the queue down when the progress gate says all
+	// blocks are compressed — but consumers signal the gate before their
+	// final queue access, so this can run early. The patched variant
+	// joins the consumers first, exactly the missing pthread_join of
+	// the original fix.
+	if env.FixBugs {
+		th.Join(producer)
+		for _, c := range consumers {
+			th.Join(c)
+		}
+		queueFreed.Store(th, 1)
+	} else {
+		appkit.Func(th, "pbzip2.wait_and_free", func() {
+			outDone.Wait(th)
+			queueFreed.Store(th, 1) // delete the fifo
+		})
+	}
+
+	out := w.Open(th, "/tmp/out.tar.bz2")
+	if !env.FixBugs {
+		th.Join(producer)
+		for _, c := range consumers {
+			th.Join(c)
+		}
+	}
+	for b := 0; b < nBlocks; b++ {
+		out.Write(th, []byte{byte(output.Peek(b))})
+	}
+	out.Close(th)
+}

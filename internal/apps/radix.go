@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+)
+
+// radix models the SPLASH-2 radix-sort kernel's rank-exchange phase:
+// each worker builds a local histogram of its keys for the current
+// digit, then the workers exchange prefix-sum information through
+// per-worker semaphores before permuting keys.
+//
+// Modelled bug:
+//
+//   - radix-deadlock: the exchange takes the neighbor semaphores in
+//     ring order (mine, then my right neighbor's) — dining-philosopher
+//     style. Under the schedule where every worker grabs its own
+//     semaphore first, each then waits on its neighbor forever.
+func radix() *appkit.Program {
+	return &appkit.Program{
+		Name:     "radix",
+		Category: "scientific",
+		Bugs:     []string{"radix-deadlock"},
+		Run:      runRadix,
+	}
+}
+
+func runRadix(env *appkit.Env) {
+	th := env.T
+	nWorkers := 3
+	keysPer := env.ScaleOr(6)
+
+	const radixBits = 4
+	const buckets = 1 << radixBits
+	keys := mem.NewArray("radix.keys", nWorkers*keysPer)
+	hist := mem.NewArray("radix.hist", nWorkers*buckets)
+	ranks := mem.NewArray("radix.ranks", nWorkers)
+
+	// One exchange token per worker, initially available.
+	var sems []*ssync.Semaphore
+	for i := 0; i < nWorkers; i++ {
+		sems = append(sems, ssync.NewSemaphore(fmt.Sprintf("radix.sem%d", i), 1))
+	}
+
+	// Deterministic skewed key distribution.
+	for i := 0; i < keys.Len(); i++ {
+		keys.Poke(i, uint64((i*i*31)%997))
+	}
+
+	histogram := func(t *sched.Thread, wid int) {
+		appkit.Func(t, "radix.histogram", func() {
+			for k := 0; k < keysPer; k++ {
+				appkit.Block(t, "radix.digit_extract", 150)
+				v := keys.Load(t, wid*keysPer+k)
+				d := int(v) & (buckets - 1)
+				c := hist.Load(t, wid*buckets+d)
+				hist.Store(t, wid*buckets+d, c+1)
+			}
+		})
+	}
+
+	exchange := func(t *sched.Thread, wid int) {
+		appkit.Func(t, "radix.rank_exchange", func() {
+			right := (wid + 1) % nWorkers
+			lo, hi := wid, right
+			if env.FixBugs && lo > hi {
+				lo, hi = hi, lo // patched: global acquisition order
+			}
+			appkit.BB(t, "radix.take_own")
+			sems[lo].Acquire(t) // BUG (unpatched): every worker takes its own first...
+			// ...computes its local prefix sums while holding it...
+			appkit.Block(t, "radix.local_rank", 50)
+			appkit.BB(t, "radix.take_right")
+			sems[hi].Acquire(t) // ...then blocks on the neighbor's.
+
+			// Combine the neighbor's histogram into this worker's rank.
+			var sum uint64
+			for d := 0; d < buckets; d++ {
+				appkit.Block(t, "radix.prefix_arith", 100)
+				sum += hist.Load(t, right*buckets+d)
+			}
+			ranks.Store(t, wid, sum)
+
+			sems[right].Release(t)
+			sems[wid].Release(t)
+		})
+	}
+
+	var workers []*sched.Thread
+	for i := 0; i < nWorkers; i++ {
+		wid := i
+		workers = append(workers, th.Spawn(fmt.Sprintf("radix-worker%d", i), func(t *sched.Thread) {
+			histogram(t, wid)
+			exchange(t, wid)
+		}))
+	}
+	for _, wk := range workers {
+		th.Join(wk)
+	}
+}

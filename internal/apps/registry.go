@@ -1,0 +1,112 @@
+// Package apps is the evaluation corpus: models of the paper's 11
+// applications (4 servers, 3 desktop/client, 4 scientific/graphics) each
+// embedding its documented real-world concurrency bug — 13 bugs in
+// total, covering atomicity violations (single- and multi-variable),
+// order violations and deadlocks.
+//
+// The models are structural reproductions: the same thread roles, the
+// same synchronization idioms, the same unprotected windows as the
+// original defects, on top of workloads that do real (if scaled-down)
+// computation so the instrumentation-density profile per category —
+// syscall-heavy servers, barrier-heavy scientific kernels, mixed
+// desktop tools — matches the originals. See DESIGN.md for the
+// bug-by-bug mapping.
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/appkit"
+)
+
+// Bug types.
+const (
+	TypeAtomicity = "atomicity"
+	TypeOrder     = "order"
+	TypeDeadlock  = "deadlock"
+)
+
+// BugInfo describes one corpus bug.
+type BugInfo struct {
+	ID          string
+	App         string
+	Type        string
+	Description string
+}
+
+var bugList = []BugInfo{
+	{"mysql-169", "mysqld", TypeAtomicity, "binlog append is a non-atomic reserve+copy+publish; concurrent appends clobber each other's records"},
+	{"mysql-791", "mysqld", TypeAtomicity, "worker checks log_open, rotator closes the log in the window, worker writes to a closed binlog"},
+	{"apache-25520", "apached", TypeAtomicity, "shared access-log buffer: length read and record copy are not atomic across workers"},
+	{"apache-21285", "apached", TypeOrder, "connection buffer freed twice when request completion races with shutdown teardown"},
+	{"openldap-deadlock", "openldapd", TypeDeadlock, "search locks conn->index while unbind locks index->conn: classic inversion"},
+	{"cherokee-326", "cherokeed", TypeAtomicity, "cached date-string buffer regenerated non-atomically while another worker reads it"},
+	{"pbzip2-order", "pbzip2", TypeOrder, "main frees the output queue while a consumer still drains it (missing join)"},
+	{"aget-atomicity", "aget", TypeAtomicity, "SIGINT save reads bwritten+bitmap between a worker's two unsynchronized updates"},
+	{"transmission-1818", "transmission", TypeOrder, "session handle published before its bandwidth field is initialized"},
+	{"fft-barrier", "fft", TypeOrder, "transpose reads the partner's tile before the missing barrier would have published it"},
+	{"lu-atomicity", "lu", TypeAtomicity, "global pivot maximum updated with unlocked check-then-act; concurrent updates lose the true max"},
+	{"barnes-order", "barnes", TypeOrder, "tree build publishes a child pointer before the node body is initialized"},
+	{"radix-deadlock", "radix", TypeDeadlock, "rank-exchange semaphores acquired in ring order; all workers holding one starves the ring"},
+}
+
+var programs = map[string]*appkit.Program{}
+
+func register(p *appkit.Program) *appkit.Program {
+	programs[p.Name] = p
+	return p
+}
+
+func init() {
+	register(mysqld())
+	register(apached())
+	register(openldapd())
+	register(cherokeed())
+	register(pbzip2())
+	register(aget())
+	register(transmission())
+	register(fft())
+	register(lu())
+	register(barnes())
+	register(radix())
+}
+
+// All returns every corpus program, sorted by name.
+func All() []*appkit.Program {
+	out := make([]*appkit.Program, 0, len(programs))
+	for _, p := range programs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named program.
+func Get(name string) (*appkit.Program, bool) {
+	p, ok := programs[name]
+	return p, ok
+}
+
+// AllBugs returns every corpus bug in corpus order.
+func AllBugs() []BugInfo {
+	return append([]BugInfo(nil), bugList...)
+}
+
+// GetBug returns the bug with the given id.
+func GetBug(id string) (BugInfo, bool) {
+	for _, b := range bugList {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return BugInfo{}, false
+}
+
+// ProgramForBug returns the program that manifests the bug.
+func ProgramForBug(id string) (*appkit.Program, bool) {
+	b, ok := GetBug(id)
+	if !ok {
+		return nil, false
+	}
+	return Get(b.App)
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// transmission models the BitTorrent client's session startup: the main
+// thread constructs the session object and spawns peer workers that
+// immediately start using it to rate-limit their transfers.
+//
+// Modelled bug:
+//
+//   - transmission-1818 (order violation): tr_sessionInitFull published
+//     the session handle (h->ready) before initializing h->bandwidth;
+//     a peer thread that won the race dereferenced an uninitialized
+//     bandwidth object and crashed. We publish the handle first and
+//     fill the bandwidth fields after, exactly the original ordering.
+func transmission() *appkit.Program {
+	return &appkit.Program{
+		Name:     "transmission",
+		Category: "desktop",
+		Bugs:     []string{"transmission-1818"},
+		Run:      runTransmission,
+	}
+}
+
+func runTransmission(env *appkit.Env) {
+	th := env.T
+	w := env.W
+	nPeers := 2
+	nMsgs := env.ScaleOr(6)
+
+	// The session object: handle flag plus two bandwidth fields.
+	handleReady := mem.NewCell("tr.handle_ready", 0)
+	bwLimit := mem.NewCell("tr.bandwidth_limit", 0)
+	bwMagic := mem.NewCell("tr.bandwidth_magic", 0)
+	transferred := mem.NewCell("tr.transferred", 0)
+	peerQ := w.NewQueue("tr.peer_socket")
+
+	const bandwidthMagic = 0xB00C
+
+	// Peer workers: spawned by session init below; they rate-limit
+	// transfers through the bandwidth object.
+	peerBody := func(t *sched.Thread) {
+		{
+			for {
+				appkit.BB(t, "tr.peer_loop")
+				msg, ok := peerQ.Recv(t)
+				if !ok {
+					return
+				}
+				appkit.Func(t, "tr.peer_transfer", func() {
+					if handleReady.Load(t) == 1 {
+						// Dereference the bandwidth object.
+						appkit.BB(t, "tr.bandwidth_use")
+						magic := bwMagic.Load(t)
+						t.Check(magic == bandwidthMagic, "transmission-1818",
+							"bandwidth used before init (magic=%#x)", magic)
+						limit := bwLimit.Load(t)
+						amount := uint64(msg[0])
+						if amount > limit {
+							amount = limit
+						}
+						transferred.Add(t, amount)
+						// Verify the admitted piece: private work.
+						appkit.Block(t, "tr.piece_hash", 2500)
+					}
+				})
+			}
+		}
+	}
+
+	// Peer traffic is already queued on the sockets when the session
+	// starts (peers connect asynchronously in the original).
+	for i := 0; i < nMsgs; i++ {
+		r := w.Rand(th)
+		peerQ.Send(th, []byte{byte(r%120 + 1)})
+	}
+
+	// Session init, with the original's buggy publication order. The
+	// patched variant (the upstream fix) initializes the bandwidth
+	// object before the handle is published and the peers started.
+	var peers []*sched.Thread
+	appkit.Func(th, "tr.sessionInitFull", func() {
+		if env.FixBugs {
+			appkit.BB(th, "tr.init_bandwidth")
+			bwLimit.Store(th, 100)
+			bwMagic.Store(th, bandwidthMagic)
+			w.Sleep(th, 20)
+			appkit.BB(th, "tr.init_handle")
+			handleReady.Store(th, 1)
+			for i := 0; i < nPeers; i++ {
+				peers = append(peers, th.Spawn(fmt.Sprintf("tr-peer%d", i), peerBody))
+			}
+			return
+		}
+		appkit.BB(th, "tr.init_handle")
+		handleReady.Store(th, 1)      // BUG: handle published first...
+		for i := 0; i < nPeers; i++ { // ...the peer threads started...
+			peers = append(peers, th.Spawn(fmt.Sprintf("tr-peer%d", i), peerBody))
+		}
+		w.Sleep(th, 20) // (the original did network setup here)
+		appkit.BB(th, "tr.init_bandwidth")
+		bwLimit.Store(th, 100)            // ...and only then the bandwidth
+		bwMagic.Store(th, bandwidthMagic) // object initialized.
+	})
+
+	peerQ.Close(th)
+
+	for _, p := range peers {
+		th.Join(p)
+	}
+}

@@ -1,0 +1,176 @@
+// Package core implements PRES itself: production-run recording under a
+// chosen sketching mechanism, the intelligent replayer that explores the
+// unrecorded non-deterministic space with feedback from failed attempts,
+// and the reproducer that replays a captured full order deterministically
+// every time.
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+
+	"repro/internal/appkit"
+	"repro/internal/sched"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+	"repro/internal/vsys"
+)
+
+// Options parameterizes a production run.
+type Options struct {
+	Scheme sketch.Scheme
+	// Processors models the production machine's core count.
+	Processors int
+	// Preempt is the per-point timeslice-preemption probability of the
+	// production scheduler; zero means DefaultPreempt.
+	Preempt float64
+	// ScheduleSeed seeds the production run's interleaving.
+	ScheduleSeed int64
+	// WorldSeed seeds the virtual syscall layer (clock/rng inputs).
+	WorldSeed int64
+	// Scale and MaxSteps are passed through to the program/scheduler.
+	Scale    int
+	MaxSteps uint64
+	// FixBugs runs the programs' patched code paths (see appkit.Env).
+	FixBugs bool
+}
+
+// DefaultPreempt is the production scheduler's timeslice-preemption
+// probability when Options leaves it zero.
+const DefaultPreempt = 0.02
+
+func (o Options) preempt() float64 {
+	if o.Preempt == 0 {
+		return DefaultPreempt
+	}
+	return o.Preempt
+}
+
+func (o Options) processors() int {
+	if o.Processors <= 0 {
+		return 4
+	}
+	return o.Processors
+}
+
+// Recording is everything PRES keeps from a production run: the sketch,
+// the input log, and the run's outcome (so the harness knows whether the
+// bug manifested).
+type Recording struct {
+	Scheme  sketch.Scheme
+	Sketch  *trace.SketchLog
+	Inputs  *trace.InputLog
+	Options Options
+	Result  *sched.Result
+}
+
+// BugFailure returns the manifested bug failure of the production run,
+// or nil if the run completed cleanly.
+func (r *Recording) BugFailure() *sched.Failure {
+	if r.Result != nil && r.Result.Failure != nil && r.Result.Failure.IsBug() {
+		return r.Result.Failure
+	}
+	return nil
+}
+
+// LogBytes returns the encoded size of the sketch plus input logs — the
+// storage cost of this recording.
+func (r *Recording) LogBytes() int {
+	return sketch.EncodedSize(r.Sketch) + sketch.InputEncodedSize(r.Inputs)
+}
+
+// Write serializes the recording's logs (sketch, then inputs). Each
+// section is length-prefixed so the reader can split them without the
+// decoders' internal buffering over-reading across the boundary.
+func (r *Recording) Write(w io.Writer) error {
+	for _, enc := range []func(io.Writer) error{
+		func(w io.Writer) error { return trace.EncodeSketch(w, r.Sketch) },
+		func(w io.Writer) error { return trace.EncodeInput(w, r.Inputs) },
+	} {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			return err
+		}
+		if _, err := w.Write(binary.AppendUvarint(nil, uint64(buf.Len()))); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readSection(br io.ByteReader, rd io.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, trace.ErrBadFormat
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadRecording deserializes logs written by Write. Options and Result
+// are not part of the wire format; the caller supplies Options.
+func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
+	br := bufio.NewReader(rd)
+	skBytes, err := readSection(br, br)
+	if err != nil {
+		return nil, err
+	}
+	inBytes, err := readSection(br, br)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := trace.DecodeSketch(bytes.NewReader(skBytes))
+	if err != nil {
+		return nil, err
+	}
+	in, err := trace.DecodeInput(bytes.NewReader(inBytes))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := sketch.Parse(sk.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{Scheme: scheme, Sketch: sk, Inputs: in, Options: opts}, nil
+}
+
+// execute runs prog once with a fresh world in the given vsys mode.
+func execute(prog *appkit.Program, opts Options, cfg sched.Config, world *vsys.World) *sched.Result {
+	return sched.Run(func(t *sched.Thread) {
+		prog.Run(&appkit.Env{T: t, W: world, Scale: opts.Scale, Procs: opts.processors(), FixBugs: opts.FixBugs})
+	}, cfg)
+}
+
+// Record performs one production run of prog under opts, recording a
+// sketch with the chosen scheme and the input log. The run uses the
+// multiprocessor production scheduler; whether the bug manifests depends
+// on ScheduleSeed (use harness.FindBuggySeed to search).
+func Record(prog *appkit.Program, opts Options) *Recording {
+	world := vsys.NewWorld(opts.WorldSeed)
+	inputs := &trace.InputLog{}
+	world.StartRecording(inputs)
+	rec := sketch.NewRecorder(opts.Scheme)
+	res := execute(prog, opts, sched.Config{
+		Strategy:  sched.NewRandomMP(opts.processors(), opts.preempt(), opts.ScheduleSeed),
+		Observers: []sched.Observer{rec},
+		MaxSteps:  opts.MaxSteps,
+	}, world)
+	return &Recording{
+		Scheme:  opts.Scheme,
+		Sketch:  rec.Log(),
+		Inputs:  inputs,
+		Options: opts,
+		Result:  res,
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/appkit"
+	"repro/internal/race"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/vsys"
+)
+
+// Oracle decides whether a manifested failure is the bug under
+// diagnosis. The default accepts any manifested bug.
+type Oracle func(*sched.Failure) bool
+
+// MatchBugID returns an oracle accepting assertion failures with the
+// given id, or — for deadlock bugs — any detected deadlock.
+func MatchBugID(id string) Oracle {
+	return func(f *sched.Failure) bool {
+		if f.Reason == sched.ReasonDeadlock {
+			return id == "" || isDeadlockID(id)
+		}
+		return id == "" || f.BugID == id
+	}
+}
+
+// isDeadlockID reports whether a corpus bug id denotes a deadlock bug
+// (by convention their ids contain "deadlock").
+func isDeadlockID(id string) bool {
+	for i := 0; i+8 <= len(id); i++ {
+		if id[i:i+8] == "deadlock" {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplayOptions parameterizes the intelligent replayer.
+type ReplayOptions struct {
+	// MaxAttempts bounds the search; the paper uses 1000 as "not
+	// reproduced". 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// Feedback enables race-directed search (the paper's feedback
+	// generation). When false, each attempt explores the sketch-
+	// constrained space with an independent random seed — the E5
+	// ablation baseline.
+	Feedback bool
+	// BranchFactor bounds how many race flips a failed attempt enqueues
+	// (nearest the failure point first). 0 means DefaultBranchFactor.
+	BranchFactor int
+	// Oracle matches the target bug; nil accepts any manifested bug.
+	Oracle Oracle
+	// MaxSteps bounds each attempt. 0 inherits the recording's bound.
+	MaxSteps uint64
+	// UseLockset selects the Eraser-style lockset detector for feedback
+	// generation instead of the default happens-before detector — an
+	// ablation of the feedback source (see BenchmarkAblationDetector).
+	UseLockset bool
+	// SketchTail, when positive, replays with only the last N sketch
+	// entries, as a soft guide rather than a hard constraint. This
+	// models bounded-storage deployments that truncate the sketch log
+	// (the paper's answer to log growth is checkpointing; ours is tail
+	// retention) — experiment E9 measures how reproduction degrades as
+	// the retained fraction shrinks.
+	SketchTail int
+	// Parallelism runs replay attempts concurrently in waves of this
+	// size (attempts are fully independent executions). The search
+	// remains deterministic for a fixed value: the first success in
+	// canonical attempt order wins and Attempts reports its position.
+	// Values below 2 preserve the exact sequential search. Feedback
+	// children enter the frontier one wave later than sequentially.
+	Parallelism int
+	// OnAttempt, if set, is called after each attempt (in canonical
+	// order) with its 1-based index, mode ("directed" or "random") and
+	// outcome ("reproduced", "clean", "diverged" or "other") — live
+	// progress for interactive tools.
+	OnAttempt func(i int, mode, outcome string)
+}
+
+// DefaultMaxAttempts is the paper's reproduction budget.
+const DefaultMaxAttempts = 1000
+
+// DefaultBranchFactor bounds feedback fan-out per failed attempt.
+const DefaultBranchFactor = 8
+
+func (o ReplayOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return o.MaxAttempts
+}
+
+func (o ReplayOptions) branch() int {
+	if o.BranchFactor <= 0 {
+		return DefaultBranchFactor
+	}
+	return o.BranchFactor
+}
+
+func (o ReplayOptions) oracle() Oracle {
+	if o.Oracle == nil {
+		return func(f *sched.Failure) bool { return true }
+	}
+	return o.Oracle
+}
+
+// ReplayStats counts what the search did.
+type ReplayStats struct {
+	Divergences   int // attempts that diverged from the sketch
+	CleanRuns     int // attempts that completed without the bug
+	OtherFailures int // step limits or non-matching bugs
+	RacesSeen     int // distinct race pairs observed across attempts
+	FlipsEnqueued int // feedback children pushed
+	FrontierDried bool
+}
+
+// ReplayResult is the outcome of the replay search.
+type ReplayResult struct {
+	Reproduced bool
+	Attempts   int              // attempts performed (including the success)
+	Failure    *sched.Failure   // the reproduced failure, if any
+	Order      *trace.FullOrder // captured full order of the success
+	Flips      int              // flips in the successful attempt's set
+	// RootCauses are the unrecorded races the successful attempt had to
+	// reverse relative to the deterministic baseline — the replayer's
+	// diagnosis of which accesses constitute the bug. Empty when the
+	// success came from a probabilistic attempt or needed no flips.
+	RootCauses []race.Pair
+	Stats      ReplayStats
+}
+
+type attemptOutcome struct {
+	bug      bool
+	failure  *sched.Failure
+	races    []race.Pair
+	order    *trace.FullOrder
+	diverged bool
+	clean    bool
+	// horizon is the step nearest the recorded execution's end: the
+	// step at which the sketch was fully consumed, or where the attempt
+	// stopped if it never was. The production run died here, so races
+	// near it are the prime flip candidates.
+	horizon uint64
+}
+
+// runAttempt performs one coordinated replay: sketch enforcement plus
+// the given flip set, with the race detector watching for feedback.
+func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions) attemptOutcome {
+	world := vsys.NewWorld(rec.Options.WorldSeed)
+	world.StartReplay(rec.Inputs)
+
+	entries := rec.Sketch.Entries
+	softStart := false
+	if opts.SketchTail > 0 && opts.SketchTail < len(entries) {
+		// Tail-only replay: the prefix of the execution is
+		// unconstrained, so the sketch can only ever be a soft guide.
+		entries = entries[len(entries)-opts.SketchTail:]
+		softStart = true
+	}
+	dir := newDirector(rec.Scheme, entries, fs, rng)
+	dir.soft = dir.soft || softStart
+	var det interface {
+		sched.Observer
+		Pairs() []race.Pair
+	} = race.NewDetector()
+	if opts.UseLockset {
+		det = race.NewLocksetDetector()
+	}
+	cap := &orderCapture{}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = rec.Options.MaxSteps
+	}
+
+	res := execute(prog, rec.Options, sched.Config{
+		Strategy:  dir,
+		Observers: []sched.Observer{dir, det, cap},
+		MaxSteps:  maxSteps,
+	}, world)
+
+	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep}
+	if out.horizon == 0 {
+		out.horizon = res.Steps
+	}
+	switch {
+	case res.Failure == nil:
+		out.clean = true
+	case res.Failure.IsBug() && opts.oracle()(res.Failure):
+		out.bug = true
+		out.failure = res.Failure
+		out.order = cap.full()
+	case res.Failure.Reason == sched.ReasonDiverged:
+		out.diverged = true
+	}
+	return out
+}
+
+// Replay is the intelligent replayer: it searches the unrecorded
+// non-deterministic space left by the sketch until the bug reproduces or
+// the attempt budget is exhausted.
+//
+// With feedback (the paper's design — it is *probabilistic* replay),
+// the search alternates two kinds of coordinated attempts: directed
+// ones, each a deterministic function of the recorded sketch and a set
+// of race flips learned from earlier failures (nearest the failure
+// point first), and probabilistic ones that sample the sketch-
+// constrained space with a time-weighted random schedule. Directed
+// attempts systematically force the windows random sampling is unlikely
+// to hit; random attempts cover window shapes the race-flip vocabulary
+// cannot express. Without feedback, only the random sampling remains —
+// the paper's ablation baseline.
+func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayResult {
+	r := &ReplayResult{}
+	if !opts.Feedback {
+		return replayNoFeedback(prog, rec, opts, r)
+	}
+
+	frontier := []replayNode{{}}
+	tried := map[string]bool{"": true}
+	racesSeen := map[string]bool{}
+
+	// The production run's failing thread, if the recording captured the
+	// failure: races involving it are the prime suspects.
+	failTID := trace.NoTID
+	if f := rec.BugFailure(); f != nil {
+		failTID = f.TID
+	}
+
+	wave := opts.Parallelism
+	if wave < 1 {
+		wave = 1
+	}
+	for r.Attempts < opts.maxAttempts() {
+		// Compose the next wave of jobs: odd attempts sample the space
+		// probabilistically; even attempts pop the directed frontier
+		// (FIFO: breadth-first over flip depth — nearly every real bug
+		// needs only one or two reorderings, so all single flips are
+		// tried before any pair, and within a level insertion order
+		// keeps the best-ranked candidates first).
+		type job struct {
+			directed bool
+			nd       replayNode
+			seed     int64
+			out      attemptOutcome
+		}
+		var jobs []*job
+		for len(jobs) < wave && r.Attempts+len(jobs) < opts.maxAttempts() {
+			idx := r.Attempts + len(jobs)
+			if idx%2 == 1 || len(frontier) == 0 {
+				jobs = append(jobs, &job{seed: int64(idx)})
+				continue
+			}
+			jobs = append(jobs, &job{directed: true, nd: frontier[0]})
+			frontier = frontier[1:]
+		}
+		if len(jobs) == 0 {
+			break
+		}
+		if len(jobs) == 1 {
+			j := jobs[0]
+			if j.directed {
+				j.out = runAttempt(prog, rec, j.nd.fs, nil, opts)
+			} else {
+				j.out = runAttempt(prog, rec, flipSet{}, rand.New(rand.NewSource(j.seed)), opts)
+			}
+		} else {
+			done := make(chan struct{})
+			for _, j := range jobs {
+				go func(j *job) {
+					if j.directed {
+						j.out = runAttempt(prog, rec, j.nd.fs, nil, opts)
+					} else {
+						j.out = runAttempt(prog, rec, flipSet{}, rand.New(rand.NewSource(j.seed)), opts)
+					}
+					done <- struct{}{}
+				}(j)
+			}
+			for range jobs {
+				<-done
+			}
+		}
+
+		// Consume outcomes in canonical order; the first success wins.
+		var succ *job
+		for _, j := range jobs {
+			r.Attempts++
+			if opts.OnAttempt != nil {
+				mode := "random"
+				if j.directed {
+					mode = "directed"
+				}
+				opts.OnAttempt(r.Attempts, mode, outcomeName(j.out))
+			}
+			if j.out.bug {
+				succ = j
+				break
+			}
+			switch {
+			case j.out.diverged:
+				r.Stats.Divergences++
+			case j.out.clean:
+				r.Stats.CleanRuns++
+			default:
+				r.Stats.OtherFailures++
+			}
+			for _, p := range j.out.races {
+				racesSeen[p.Key()] = true
+			}
+			r.Stats.RacesSeen = len(racesSeen)
+			if j.directed {
+				var added int
+				frontier, added = appendChildren(frontier, j.nd, j.out, failTID, tried, opts)
+				r.Stats.FlipsEnqueued += added
+			}
+		}
+		if succ != nil {
+			r.Reproduced = true
+			r.Failure = succ.out.failure
+			r.Order = succ.out.order
+			if succ.directed {
+				r.Flips = len(succ.nd.fs.flips)
+				r.RootCauses = succ.nd.fs.pairs()
+			}
+			return r
+		}
+	}
+	r.Stats.FrontierDried = len(frontier) == 0
+	return r
+}
+
+// replayNode is one point in the directed search tree: a flip set plus
+// the race keys its parent attempt observed — feedback prioritizes races
+// a node's deviation *created*, which localize the next flip to the
+// perturbed neighborhood (the paper's "compare the failed replay with
+// the recording").
+type replayNode struct {
+	fs          flipSet
+	parentRaces map[string]bool
+}
+
+// appendChildren ranks a failed directed attempt's races and appends the
+// resulting child flip sets to the frontier. Ranking: races the parent's
+// deviation newly created beat pre-existing ones (at most two slots go
+// to the latter — they are reachable from other nodes too), and within a
+// tier, races closest to the recorded horizon — the step where the
+// truncated production sketch ran out, i.e. where the production run
+// died — go first; races involving the production run's failing thread
+// lead overall, preferring flips that hold *its* access while the
+// partner slips in.
+func appendChildren(frontier []replayNode, nd replayNode, out attemptOutcome, failTID trace.TID, tried map[string]bool, opts ReplayOptions) ([]replayNode, int) {
+	if len(nd.fs.flips) >= maxFlipDepth {
+		return frontier, 0 // deep chains are noise; let siblings run
+	}
+	myRaces := make(map[string]bool, len(out.races))
+	for _, p := range out.races {
+		myRaces[p.Key()] = true
+	}
+	dist := func(p race.Pair) uint64 {
+		d := out.horizon - p.SecondSeq
+		if p.SecondSeq >= out.horizon {
+			d = p.SecondSeq - out.horizon
+		}
+		if failTID != trace.NoTID {
+			switch {
+			case p.First.TID == failTID:
+				// best tier: no penalty
+			case p.Second.TID == failTID:
+				d += 1 << 24
+			default:
+				d += 1 << 32
+			}
+		}
+		return d
+	}
+	byDist := make([]race.Pair, len(out.races))
+	copy(byDist, out.races)
+	sort.SliceStable(byDist, func(i, j int) bool { return dist(byDist[i]) < dist(byDist[j]) })
+
+	added := 0
+	oldSlots := 2
+	for _, wantFresh := range []bool{true, false} {
+		for _, p := range byDist {
+			if added >= opts.branch() {
+				break
+			}
+			fresh := nd.parentRaces == nil || !nd.parentRaces[p.Key()]
+			if wantFresh != fresh {
+				continue
+			}
+			if !fresh && oldSlots == 0 {
+				continue
+			}
+			child, ok := nd.fs.with(flipOf(p))
+			if !ok || tried[child.id] {
+				continue
+			}
+			tried[child.id] = true
+			if !fresh {
+				oldSlots--
+			}
+			frontier = append(frontier, replayNode{fs: child, parentRaces: myRaces})
+			added++
+		}
+	}
+	return frontier, added
+}
+
+// maxFlipDepth caps feedback chains: the breadth-first search tries all
+// single flips, then pairs, and so on; real concurrency bugs virtually
+// always fall within a handful of simultaneous reorderings, and each
+// extra level multiplies the tree by the branch factor.
+const maxFlipDepth = 4
+
+// outcomeName classifies an attempt outcome for progress reporting.
+func outcomeName(out attemptOutcome) string {
+	switch {
+	case out.bug:
+		return "reproduced"
+	case out.clean:
+		return "clean"
+	case out.diverged:
+		return "diverged"
+	default:
+		return "other"
+	}
+}
+
+func replayNoFeedback(prog *appkit.Program, rec *Recording, opts ReplayOptions, r *ReplayResult) *ReplayResult {
+	racesSeen := map[string]bool{}
+	for i := 0; i < opts.maxAttempts(); i++ {
+		var rng *rand.Rand
+		if i > 0 {
+			// Attempt 0 is the deterministic baseline (comparable to
+			// feedback mode's first attempt); later attempts are random.
+			rng = rand.New(rand.NewSource(int64(i)))
+		}
+		out := runAttempt(prog, rec, flipSet{}, rng, opts)
+		r.Attempts++
+		if opts.OnAttempt != nil {
+			opts.OnAttempt(r.Attempts, "random", outcomeName(out))
+		}
+		if out.bug {
+			r.Reproduced = true
+			r.Failure = out.failure
+			r.Order = out.order
+			return r
+		}
+		switch {
+		case out.diverged:
+			r.Stats.Divergences++
+		case out.clean:
+			r.Stats.CleanRuns++
+		default:
+			r.Stats.OtherFailures++
+		}
+		for _, p := range out.races {
+			racesSeen[p.Key()] = true
+		}
+		r.Stats.RacesSeen = len(racesSeen)
+	}
+	return r
+}
+
+// Reproduce replays a captured full order and returns the run's result;
+// with a faithful order the recorded bug manifests every time.
+func Reproduce(prog *appkit.Program, rec *Recording, order *trace.FullOrder) *sched.Result {
+	world := vsys.NewWorld(rec.Options.WorldSeed)
+	world.StartReplay(rec.Inputs)
+	return execute(prog, rec.Options, sched.Config{
+		Strategy: &sched.OrderStrategy{Order: order.Order},
+		MaxSteps: rec.Options.MaxSteps,
+	}, world)
+}
+
+// tightWindow is the global-step distance under which a race is
+// considered "tight" and prioritized by feedback: an access pair that
+// nearly touched is an atomicity-violation-shaped window whose flip
+// rarely wedges the schedule.
+const tightWindow = 100

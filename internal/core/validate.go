@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// Validate checks a recording's internal consistency beyond what the
+// codec enforces — the pre-flight a diagnosis tool runs on an untrusted
+// or salvaged file before spending replay budget on it.
+func (r *Recording) Validate() error {
+	if r.Sketch == nil || r.Inputs == nil {
+		return fmt.Errorf("core: recording missing sketch or input log")
+	}
+	scheme, err := sketch.Parse(r.Sketch.Scheme)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if scheme != r.Scheme {
+		return fmt.Errorf("core: recording scheme %v does not match log header %q", r.Scheme, r.Sketch.Scheme)
+	}
+	if uint64(r.Sketch.Len()) > r.Sketch.TotalOps && r.Sketch.TotalOps != 0 {
+		return fmt.Errorf("core: sketch has %d entries but only %d total ops", r.Sketch.Len(), r.Sketch.TotalOps)
+	}
+	for i, e := range r.Sketch.Entries {
+		if !e.Kind.Valid() {
+			return fmt.Errorf("core: sketch entry %d has invalid kind %d", i, e.Kind)
+		}
+		if !scheme.Records(e.Kind) {
+			return fmt.Errorf("core: sketch entry %d (%v) is not recordable under %v", i, e.Kind, scheme)
+		}
+		if e.TID < 0 {
+			return fmt.Errorf("core: sketch entry %d has negative thread id", i)
+		}
+	}
+	for i, rec := range r.Inputs.Records {
+		if rec.TID < 0 {
+			return fmt.Errorf("core: input record %d has negative thread id", i)
+		}
+		if rec.Call == 0 {
+			return fmt.Errorf("core: input record %d has zero call code", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+func TestValidateAcceptsRealRecording(t *testing.T) {
+	rec := Record(orderBugProg(), Options{Scheme: sketch.SYNC, ScheduleSeed: 1, MaxSteps: 100_000})
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	fresh := func() *Recording {
+		return Record(orderBugProg(), Options{Scheme: sketch.SYNC, ScheduleSeed: 1, MaxSteps: 100_000})
+	}
+
+	r := fresh()
+	r.Sketch = nil
+	if r.Validate() == nil {
+		t.Error("nil sketch accepted")
+	}
+
+	r = fresh()
+	r.Sketch.Scheme = "NOPE"
+	if r.Validate() == nil {
+		t.Error("unknown scheme accepted")
+	}
+
+	r = fresh()
+	r.Sketch.Scheme = "RW" // header disagrees with Scheme field
+	if r.Validate() == nil {
+		t.Error("scheme mismatch accepted")
+	}
+
+	r = fresh()
+	r.Sketch.Entries = append(r.Sketch.Entries, trace.SketchEntry{TID: 0, Kind: trace.Kind(99)})
+	if r.Validate() == nil {
+		t.Error("invalid kind accepted")
+	}
+
+	r = fresh()
+	r.Sketch.Entries = append(r.Sketch.Entries, trace.SketchEntry{TID: 0, Kind: trace.KindLoad})
+	if r.Validate() == nil {
+		t.Error("non-recordable kind accepted in SYNC sketch")
+	}
+
+	r = fresh()
+	r.Sketch.Entries[0].TID = -3
+	if r.Validate() == nil {
+		t.Error("negative tid accepted")
+	}
+
+	r = fresh()
+	r.Sketch.TotalOps = 1
+	if r.Validate() == nil {
+		t.Error("entry count above total ops accepted")
+	}
+
+	r = fresh()
+	r.Inputs.Append(trace.InputRecord{TID: -1, Call: 1})
+	if r.Validate() == nil {
+		t.Error("negative input tid accepted")
+	}
+
+	r = fresh()
+	r.Inputs.Append(trace.InputRecord{TID: 0, Call: 0})
+	if r.Validate() == nil {
+		t.Error("zero call code accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// AppStats characterizes one corpus application's workload — the
+// analogue of the paper's application table (threads, instruction mix,
+// event densities).
+type AppStats struct {
+	App      string
+	Category string
+	Bugs     int
+	Threads  int
+	// Events is the number of instrumentation points of the production
+	// workload; Work its logical duration in memory-access units.
+	Events uint64
+	Work   uint64
+	// Mix: share of instrumentation points per class.
+	MemPct, SyncPct, SysPct, CtlPct float64
+}
+
+// CollectAppStats profiles every corpus app's patched production
+// workload.
+func CollectAppStats(cfg Config) []AppStats {
+	var out []AppStats
+	for _, p := range apps.All() {
+		rec := core.Record(p, cfg.overheadOptions(sketch.BASE, 1))
+		st := AppStats{
+			App:      p.Name,
+			Category: p.Category,
+			Bugs:     len(p.Bugs),
+			Threads:  rec.Result.Threads,
+			Events:   rec.Result.Steps,
+			Work:     rec.Result.BaseCost / trace.CostUnit,
+		}
+		var mem, sync, sys, ctl uint64
+		for k := 0; k < trace.NumKinds; k++ {
+			n := rec.Result.EventsByKind[k]
+			kind := trace.Kind(k)
+			switch {
+			case kind.IsMemory():
+				mem += n
+			case kind.IsSync():
+				sync += n
+			case kind.IsSyscall():
+				sys += n
+			case kind == trace.KindBB || kind == trace.KindFuncEnter || kind == trace.KindFuncExit:
+				ctl += n
+			}
+		}
+		total := float64(max(st.Events, 1))
+		st.MemPct = float64(mem) / total * 100
+		st.SyncPct = float64(sync) / total * 100
+		st.SysPct = float64(sys) / total * 100
+		st.CtlPct = float64(ctl) / total * 100
+		out = append(out, st)
+	}
+	return out
+}
+
+// PrintAppStats renders the application table.
+func PrintAppStats(w io.Writer, rows []AppStats) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "app\tcategory\tbugs\tthreads\tevents\twork (accesses)\tmem%\tsync%\tsys%\tctl%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			r.App, r.Category, r.Bugs, r.Threads, r.Events, r.Work,
+			r.MemPct, r.SyncPct, r.SysPct, r.CtlPct)
+	}
+}

@@ -1,0 +1,461 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/sketch"
+)
+
+// E1Row is one cell of the bug-reproduction table: replay attempts to
+// reproduce one bug under one sketching mechanism.
+type E1Row struct {
+	Bug        apps.BugInfo
+	Scheme     sketch.Scheme
+	Seed       int64
+	Attempts   int
+	Flips      int
+	Reproduced bool
+	Stats      core.ReplayStats
+	Err        error
+}
+
+// RunE1 reproduces every corpus bug under each given scheme (the
+// paper's headline table). Pass nil schemes for the full set.
+func RunE1(schemes []sketch.Scheme, cfg Config) []E1Row {
+	if schemes == nil {
+		schemes = sketch.All()
+	}
+	var rows []E1Row
+	for _, b := range apps.AllBugs() {
+		for _, s := range schemes {
+			rows = append(rows, runE1Cell(b, s, cfg))
+		}
+	}
+	return rows
+}
+
+func runE1Cell(b apps.BugInfo, s sketch.Scheme, cfg Config) E1Row {
+	row := E1Row{Bug: b, Scheme: s}
+	prog, _ := apps.ProgramForBug(b.ID)
+	seed, rec, err := FindBuggySeed(prog, b.ID, s, cfg)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Seed = seed
+	res := core.Replay(prog, rec, core.ReplayOptions{
+		Feedback:    true,
+		MaxAttempts: cfg.maxAttempts(),
+		Oracle:      core.MatchBugID(b.ID),
+	})
+	row.Attempts = res.Attempts
+	row.Flips = res.Flips
+	row.Reproduced = res.Reproduced
+	row.Stats = res.Stats
+	return row
+}
+
+// E2Row is one cell of the recording-overhead figure: the modelled
+// production-run overhead of one scheme on one application's clean
+// workload.
+type E2Row struct {
+	App      string
+	Category string
+	Scheme   sketch.Scheme
+	// Overhead is ExtraCost/BaseCost (0.25 == 25% slowdown).
+	Overhead float64
+	// Entries and TotalOps give the sketch density behind the overhead.
+	Entries  int
+	TotalOps uint64
+	Seed     int64
+	Err      error
+}
+
+// RunE2 measures recording overhead for every app x scheme on a clean
+// production run. Because observers never influence scheduling, every
+// scheme measures the exact same execution of each app, so the
+// between-scheme ratios are exact.
+func RunE2(schemes []sketch.Scheme, cfg Config) []E2Row {
+	if schemes == nil {
+		schemes = sketch.All()
+	}
+	var rows []E2Row
+	for _, p := range apps.All() {
+		for _, s := range schemes {
+			row := E2Row{App: p.Name, Category: p.Category, Scheme: s}
+			rec := core.Record(p, cfg.overheadOptions(s, 1))
+			if f := rec.Result.Failure; f != nil {
+				row.Err = f
+			} else {
+				row.Overhead = rec.Result.Overhead()
+				row.Entries = rec.Sketch.Len()
+				row.TotalOps = rec.Sketch.TotalOps
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// E3Row is one cell of the log-size table.
+type E3Row struct {
+	App    string
+	Scheme sketch.Scheme
+	// SketchBytes is the encoded sketch log; InputBytes the input log
+	// (charged to every scheme, including BASE).
+	SketchBytes int
+	InputBytes  int
+	// BytesPerKop is sketch bytes per thousand instrumented operations
+	// — the paper's log-growth-rate metric.
+	BytesPerKop float64
+	Err         error
+}
+
+// RunE3 measures log sizes for every app x scheme on the same clean
+// runs as E2.
+func RunE3(schemes []sketch.Scheme, cfg Config) []E3Row {
+	if schemes == nil {
+		schemes = sketch.All()
+	}
+	var rows []E3Row
+	for _, p := range apps.All() {
+		for _, s := range schemes {
+			row := E3Row{App: p.Name, Scheme: s}
+			rec := core.Record(p, cfg.overheadOptions(s, 1))
+			if f := rec.Result.Failure; f != nil {
+				row.Err = f
+			} else {
+				row.SketchBytes = sketch.EncodedSize(rec.Sketch)
+				row.InputBytes = sketch.InputEncodedSize(rec.Inputs)
+				if rec.Sketch.TotalOps > 0 {
+					row.BytesPerKop = float64(row.SketchBytes) * 1000 / float64(rec.Sketch.TotalOps)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// E4Row is one cell of the scalability figure: overhead and attempts at
+// a given processor count.
+type E4Row struct {
+	Procs    int
+	Bug      string
+	Scheme   sketch.Scheme
+	Overhead float64
+	Attempts int
+	Repro    bool
+	Err      error
+}
+
+// E4Bugs is the default bug subset for the scalability sweep (one per
+// category).
+var E4Bugs = []string{"mysql-169", "pbzip2-order", "lu-atomicity"}
+
+// RunE4 sweeps the processor count, measuring SYNC recording overhead
+// on the bug's application and attempts-to-reproduce. More processors
+// widen the unrecorded interleaving space; the paper's claim is that
+// PRES's attempts stay low while BASE-style approaches blow up.
+func RunE4(procs []int, bugs []string, cfg Config) []E4Row {
+	if procs == nil {
+		procs = []int{1, 2, 4, 8, 16}
+	}
+	if bugs == nil {
+		bugs = E4Bugs
+	}
+	var rows []E4Row
+	for _, p := range procs {
+		c := cfg
+		c.Processors = p
+		for _, bug := range bugs {
+			row := E4Row{Procs: p, Bug: bug, Scheme: sketch.SYNC}
+			_, res, err := ReproduceBug(bug, sketch.SYNC, c)
+			if err != nil {
+				row.Err = err
+			} else {
+				// Overhead is a production metric: measure it on the
+				// app's long patched workload at this processor count.
+				prog, _ := apps.ProgramForBug(bug)
+				prod := core.Record(prog, c.overheadOptions(sketch.SYNC, 1))
+				row.Overhead = prod.Result.Overhead()
+				row.Attempts = res.Attempts
+				row.Repro = res.Reproduced
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// E5Row is one cell of the feedback-ablation figure.
+type E5Row struct {
+	Bug               string
+	WithFeedback      int
+	WithFeedbackOK    bool
+	WithoutFeedback   int
+	WithoutFeedbackOK bool
+	Err               error
+}
+
+// RunE5 compares feedback-directed search against random exploration of
+// the same sketch-constrained space — the paper's "feedback generation
+// is critical" result.
+func RunE5(bugs []string, cfg Config) []E5Row {
+	if bugs == nil {
+		for _, b := range apps.AllBugs() {
+			bugs = append(bugs, b.ID)
+		}
+	}
+	var rows []E5Row
+	for _, bug := range bugs {
+		row := E5Row{Bug: bug}
+		prog, _ := apps.ProgramForBug(bug)
+		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
+		if err != nil {
+			row.Err = err
+			rows = append(rows, row)
+			continue
+		}
+		with := core.Replay(prog, rec, core.ReplayOptions{
+			Feedback: true, MaxAttempts: cfg.maxAttempts(), Oracle: core.MatchBugID(bug),
+		})
+		without := core.Replay(prog, rec, core.ReplayOptions{
+			Feedback: false, MaxAttempts: cfg.maxAttempts(), Oracle: core.MatchBugID(bug),
+		})
+		row.WithFeedback, row.WithFeedbackOK = with.Attempts, with.Reproduced
+		row.WithoutFeedback, row.WithoutFeedbackOK = without.Attempts, without.Reproduced
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// E6Row is one row of the reproduce-every-time check.
+type E6Row struct {
+	Bug      string
+	Attempts int // attempts to first reproduction
+	Replays  int // captured-order replays performed
+	AllRepro bool
+	Err      error
+}
+
+// RunE6 verifies the paper's determinism claim: after the first
+// successful replay, the captured full order reproduces the bug on
+// every one of n re-executions.
+func RunE6(bugs []string, n int, cfg Config) []E6Row {
+	if bugs == nil {
+		for _, b := range apps.AllBugs() {
+			bugs = append(bugs, b.ID)
+		}
+	}
+	if n <= 0 {
+		n = 100
+	}
+	var rows []E6Row
+	for _, bug := range bugs {
+		row := E6Row{Bug: bug, Replays: n}
+		prog, _ := apps.ProgramForBug(bug)
+		rec, res, err := ReproduceBug(bug, sketch.SYNC, cfg)
+		if err != nil {
+			row.Err = err
+			rows = append(rows, row)
+			continue
+		}
+		row.Attempts = res.Attempts
+		if !res.Reproduced {
+			rows = append(rows, row)
+			continue
+		}
+		row.AllRepro = true
+		oracle := core.MatchBugID(bug)
+		for i := 0; i < n; i++ {
+			out := core.Reproduce(prog, rec, res.Order)
+			if out.Failure == nil || !out.Failure.IsBug() || !oracle(out.Failure) {
+				row.AllRepro = false
+				break
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// E7Row is one row of the overhead-reduction headline: how many times
+// cheaper each sketch is than full RW recording on one application.
+type E7Row struct {
+	App       string
+	Scheme    sketch.Scheme
+	Reduction float64 // RW overhead / scheme overhead
+	Err       error
+}
+
+// RunE7 derives the paper's "up to 4416x lower overhead" headline from
+// the E2 measurements.
+func RunE7(cfg Config) []E7Row {
+	e2 := RunE2([]sketch.Scheme{sketch.SYNC, sketch.SYS, sketch.FUNC, sketch.BB, sketch.RW}, cfg)
+	rw := map[string]float64{}
+	for _, r := range e2 {
+		if r.Scheme == sketch.RW {
+			rw[r.App] = r.Overhead
+		}
+	}
+	var rows []E7Row
+	for _, r := range e2 {
+		if r.Scheme == sketch.RW {
+			continue
+		}
+		row := E7Row{App: r.App, Scheme: r.Scheme, Err: r.Err}
+		if r.Err == nil && r.Overhead > 0 {
+			row.Reduction = rw[r.App] / r.Overhead
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// E8Row summarizes the replay-time cost of reproducing one bug.
+type E8Row struct {
+	Bug         string
+	Attempts    int
+	Flips       int
+	RacesSeen   int
+	Divergences int
+	CleanRuns   int
+	Reproduced  bool
+	Err         error
+}
+
+// RunE8 collects the replayer's search statistics for every bug under
+// SYNC sketching.
+func RunE8(cfg Config) []E8Row {
+	var rows []E8Row
+	for _, b := range apps.AllBugs() {
+		row := E8Row{Bug: b.ID}
+		_, res, err := ReproduceBug(b.ID, sketch.SYNC, cfg)
+		if err != nil {
+			row.Err = err
+		} else {
+			row.Attempts = res.Attempts
+			row.Flips = res.Flips
+			row.RacesSeen = res.Stats.RacesSeen
+			row.Divergences = res.Stats.Divergences
+			row.CleanRuns = res.Stats.CleanRuns
+			row.Reproduced = res.Reproduced
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// E9Row is one cell of the sketch-truncation experiment (an extension
+// beyond the paper): replay attempts when only the tail of the sketch
+// log survives, as in bounded-storage deployments.
+type E9Row struct {
+	Bug        string
+	Retained   int // percent of the sketch kept (100 = full)
+	Attempts   int
+	Reproduced bool
+	Err        error
+}
+
+// E9Bugs is the default subset for the truncation sweep.
+var E9Bugs = []string{"mysql-169", "openldap-deadlock", "lu-atomicity", "fft-barrier"}
+
+// RunE9 sweeps the retained sketch fraction for a bug subset under SYNC.
+func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
+	if bugs == nil {
+		bugs = E9Bugs
+	}
+	if fractions == nil {
+		fractions = []int{100, 50, 25, 10}
+	}
+	var rows []E9Row
+	for _, bug := range bugs {
+		prog, _ := apps.ProgramForBug(bug)
+		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
+		for _, pct := range fractions {
+			row := E9Row{Bug: bug, Retained: pct, Err: err}
+			if err == nil {
+				tail := 0 // 0 = full sketch, strictly enforced
+				if pct < 100 {
+					tail = max(1, rec.Sketch.Len()*pct/100)
+				}
+				res := core.Replay(prog, rec, core.ReplayOptions{
+					Feedback:    true,
+					MaxAttempts: cfg.maxAttempts(),
+					SketchTail:  tail,
+					Oracle:      core.MatchBugID(bug),
+				})
+				row.Attempts = res.Attempts
+				row.Reproduced = res.Reproduced
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// E10Row is one cell of the bug-pattern matrix (extension): attempts to
+// reproduce a canonical pattern under a scheme.
+type E10Row struct {
+	Pattern    string
+	Class      string
+	Scheme     sketch.Scheme
+	Attempts   int
+	Reproduced bool
+	Err        error
+}
+
+// RunE10 reproduces every catalog pattern under each scheme. Patterns
+// are one-shot programs, so the production sweep covers processor
+// counts down to a loaded uniprocessor (preemption strands a thread
+// mid-window, which is how these windows are hit in the wild).
+func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
+	if schemes == nil {
+		schemes = []sketch.Scheme{sketch.SYNC, sketch.RW}
+	}
+	var rows []E10Row
+	for _, p := range patterns.All() {
+		prog := p.Build()
+		oracle := core.MatchBugID(p.BugID)
+		for _, s := range schemes {
+			row := E10Row{Pattern: p.Name, Class: p.Class, Scheme: s}
+			var rec *core.Recording
+			for _, procs := range []int{4, 1, 2} {
+				for seed := int64(0); seed < int64(cfg.seedBudget()) && rec == nil; seed++ {
+					r := core.Record(prog, core.Options{
+						Scheme:       s,
+						Processors:   procs,
+						Preempt:      0.05,
+						ScheduleSeed: seed,
+						WorldSeed:    cfg.worldSeed(),
+						MaxSteps:     cfg.maxSteps(),
+					})
+					if f := r.BugFailure(); f != nil && oracle(f) {
+						rec = r
+					}
+				}
+				if rec != nil {
+					break
+				}
+			}
+			if rec == nil {
+				row.Err = fmt.Errorf("pattern %s never manifested", p.Name)
+				rows = append(rows, row)
+				continue
+			}
+			res := core.Replay(prog, rec, core.ReplayOptions{
+				Feedback:    true,
+				MaxAttempts: cfg.maxAttempts(),
+				Oracle:      oracle,
+			})
+			row.Attempts = res.Attempts
+			row.Reproduced = res.Reproduced
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

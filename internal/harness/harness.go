@@ -1,0 +1,147 @@
+// Package harness drives the paper's evaluation: it searches production
+// seeds for runs that manifest each corpus bug, measures recording
+// overhead and log sizes for every sketching mechanism, counts replay
+// attempts to reproduction, and renders the tables and figures of
+// EXPERIMENTS.md (experiments E1-E10 in DESIGN.md).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/appkit"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// Config parameterizes a whole experiment run.
+type Config struct {
+	// Processors models the production machine; the paper's testbed was
+	// an 8-core, most experiments shown at 4. Default 4.
+	Processors int
+	// WorldSeed seeds the virtual syscall layer. Default 1.
+	WorldSeed int64
+	// SeedBudget bounds the production-seed search per bug. Default 2000.
+	SeedBudget int
+	// MaxAttempts is the replay budget (the paper's 1000). Default 1000.
+	MaxAttempts int
+	// Scale is the workload scale knob passed to programs (0 = each
+	// program's default).
+	Scale int
+	// MaxSteps bounds each execution. Default 300000.
+	MaxSteps uint64
+	// OverheadScale sizes the workloads of the overhead/log-size
+	// experiments (E2/E3/E7), which run the *patched* programs on long
+	// production-like workloads. Default 800.
+	OverheadScale int
+}
+
+func (c Config) processors() int {
+	if c.Processors <= 0 {
+		return 4
+	}
+	return c.Processors
+}
+
+func (c Config) worldSeed() int64 {
+	if c.WorldSeed == 0 {
+		return 1
+	}
+	return c.WorldSeed
+}
+
+func (c Config) seedBudget() int {
+	if c.SeedBudget <= 0 {
+		return 2000
+	}
+	return c.SeedBudget
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 1000
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) maxSteps() uint64 {
+	if c.MaxSteps == 0 {
+		return 300_000
+	}
+	return c.MaxSteps
+}
+
+func (c Config) overheadScale() int {
+	if c.OverheadScale <= 0 {
+		return 800
+	}
+	return c.OverheadScale
+}
+
+// overheadOptions configures the production-workload runs of E2/E3/E7:
+// patched programs (bugs do not cut the run short), scaled-up
+// workloads, and a step bound sized for them.
+func (c Config) overheadOptions(scheme sketch.Scheme, scheduleSeed int64) core.Options {
+	o := c.options(scheme, scheduleSeed)
+	o.FixBugs = true
+	o.Scale = c.overheadScale()
+	o.MaxSteps = 5_000_000
+	return o
+}
+
+func (c Config) options(scheme sketch.Scheme, scheduleSeed int64) core.Options {
+	return core.Options{
+		Scheme:       scheme,
+		Processors:   c.processors(),
+		ScheduleSeed: scheduleSeed,
+		WorldSeed:    c.worldSeed(),
+		Scale:        c.Scale,
+		MaxSteps:     c.maxSteps(),
+	}
+}
+
+// FindBuggySeed searches production schedule seeds until prog manifests
+// the target bug under the given scheme, returning the seed and its
+// recording. The search is deterministic: seed 0, 1, 2, ...
+func FindBuggySeed(prog *appkit.Program, bugID string, scheme sketch.Scheme, cfg Config) (int64, *core.Recording, error) {
+	oracle := core.MatchBugID(bugID)
+	for seed := int64(0); seed < int64(cfg.seedBudget()); seed++ {
+		rec := core.Record(prog, cfg.options(scheme, seed))
+		if f := rec.BugFailure(); f != nil && oracle(f) {
+			return seed, rec, nil
+		}
+	}
+	return -1, nil, fmt.Errorf("harness: %s did not manifest in %d production seeds", bugID, cfg.seedBudget())
+}
+
+// FindCleanSeed searches production seeds until prog completes without
+// any failure — the workload used for overhead measurements, where the
+// run must represent steady-state production service.
+func FindCleanSeed(prog *appkit.Program, cfg Config) (int64, error) {
+	for seed := int64(0); seed < int64(cfg.seedBudget()); seed++ {
+		rec := core.Record(prog, cfg.options(sketch.BASE, seed))
+		if rec.Result.Failure == nil {
+			return seed, nil
+		}
+	}
+	return -1, fmt.Errorf("harness: %s never ran cleanly in %d seeds", prog.Name, cfg.seedBudget())
+}
+
+// ReproduceBug runs the full PRES pipeline for one bug under one scheme:
+// find a buggy production seed, record, replay to reproduction.
+func ReproduceBug(bugID string, scheme sketch.Scheme, cfg Config) (*core.Recording, *core.ReplayResult, error) {
+	prog, ok := apps.ProgramForBug(bugID)
+	if !ok {
+		return nil, nil, fmt.Errorf("harness: unknown bug %q", bugID)
+	}
+	_, rec, err := FindBuggySeed(prog, bugID, scheme, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := core.Replay(prog, rec, core.ReplayOptions{
+		Feedback:    true,
+		MaxAttempts: cfg.maxAttempts(),
+		Oracle:      core.MatchBugID(bugID),
+	})
+	return rec, res, nil
+}

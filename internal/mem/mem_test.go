@@ -1,0 +1,260 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+type collector struct{ evs []trace.Event }
+
+func (c *collector) OnEvent(ev trace.Event) uint64 {
+	c.evs = append(c.evs, ev)
+	return 0
+}
+
+func runL(t *testing.T, root func(*sched.Thread)) (*sched.Result, *collector) {
+	t.Helper()
+	c := &collector{}
+	res := sched.Run(root, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{c}})
+	return res, c
+}
+
+func TestCellLoadStore(t *testing.T) {
+	res, c := runL(t, func(th *sched.Thread) {
+		x := NewCell("x", 5)
+		if got := x.Load(th); got != 5 {
+			th.Fail("t", "load = %d, want 5", got)
+		}
+		x.Store(th, 9)
+		if got := x.Load(th); got != 9 {
+			th.Fail("t", "load = %d, want 9", got)
+		}
+	})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	// Events carry the observed/stored values in Arg.
+	var vals []uint64
+	for _, ev := range c.evs {
+		if ev.Kind.IsMemory() {
+			vals = append(vals, ev.Arg)
+		}
+	}
+	want := []uint64{5, 9, 9}
+	if len(vals) != len(want) {
+		t.Fatalf("memory events = %d, want %d", len(vals), len(want))
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("event %d Arg = %d, want %d", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestCellAdd(t *testing.T) {
+	res, _ := runL(t, func(th *sched.Thread) {
+		x := NewCell("x", 10)
+		if got := x.Add(th, 5); got != 15 {
+			th.Fail("t", "add = %d", got)
+		}
+		// Negative delta via two's complement.
+		if got := x.Add(th, ^uint64(0)); got != 14 {
+			th.Fail("t", "add -1 = %d", got)
+		}
+	})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestCellCAS(t *testing.T) {
+	res, _ := runL(t, func(th *sched.Thread) {
+		x := NewCell("x", 1)
+		if !x.CAS(th, 1, 2) {
+			th.Fail("t", "CAS(1,2) on 1 failed")
+		}
+		if x.CAS(th, 1, 3) {
+			th.Fail("t", "CAS(1,3) on 2 succeeded")
+		}
+		if x.Peek() != 2 {
+			th.Fail("t", "value = %d", x.Peek())
+		}
+	})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestAddrStability(t *testing.T) {
+	a := NewCell("same", 0)
+	b := NewCell("same", 0)
+	if a.Addr() != b.Addr() {
+		t.Fatal("same name must map to same address")
+	}
+	if NewCell("other", 0).Addr() == a.Addr() {
+		t.Fatal("different names collided")
+	}
+}
+
+func TestArrayElemAddrs(t *testing.T) {
+	a := NewArray("arr", 4)
+	if a.Len() != 4 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		addr := a.ElemAddr(i)
+		if seen[addr] {
+			t.Fatalf("duplicate element address %#x", addr)
+		}
+		seen[addr] = true
+	}
+	if a.ElemAddr(1) != a.ElemAddr(0)+8 {
+		t.Fatal("elements not 8 bytes apart")
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	res, _ := runL(t, func(th *sched.Thread) {
+		a := NewArray("a", 3)
+		a.Store(th, 0, 7)
+		a.Store(th, 2, 9)
+		if a.Load(th, 0) != 7 || a.Load(th, 1) != 0 || a.Load(th, 2) != 9 {
+			th.Fail("t", "array contents wrong")
+		}
+		if a.Add(th, 1, 4) != 4 {
+			th.Fail("t", "array add wrong")
+		}
+	})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestRacyCounterLosesUpdates(t *testing.T) {
+	// The canonical unprotected load+store counter must be able to lose
+	// updates under some schedule — this is the non-determinism PRES
+	// exists to reproduce. Find at least one losing seed.
+	lost := false
+	for seed := int64(0); seed < 40 && !lost; seed++ {
+		var final uint64
+		res := sched.Run(func(th *sched.Thread) {
+			x := NewCell("ctr", 0)
+			var ts []*sched.Thread
+			for i := 0; i < 2; i++ {
+				ts = append(ts, th.Spawn("w", func(ct *sched.Thread) {
+					for j := 0; j < 10; j++ {
+						v := x.Load(ct)
+						x.Store(ct, v+1)
+					}
+				}))
+			}
+			for _, h := range ts {
+				th.Join(h)
+			}
+			final = x.Peek()
+		}, sched.Config{Strategy: sched.NewRandomMP(4, 0.1, seed)})
+		if res.Failure != nil {
+			t.Fatal(res.Failure)
+		}
+		if final < 20 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("no schedule lost an update in 40 seeds; interleaving model too weak")
+	}
+}
+
+func TestAtomicAddNeverLoses(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		var final uint64
+		res := sched.Run(func(th *sched.Thread) {
+			x := NewCell("ctr", 0)
+			var ts []*sched.Thread
+			for i := 0; i < 2; i++ {
+				ts = append(ts, th.Spawn("w", func(ct *sched.Thread) {
+					for j := 0; j < 10; j++ {
+						x.Add(ct, 1)
+					}
+				}))
+			}
+			for _, h := range ts {
+				th.Join(h)
+			}
+			final = x.Peek()
+		}, sched.Config{Strategy: sched.NewRandomMP(4, 0.1, seed)})
+		if res.Failure != nil {
+			t.Fatal(res.Failure)
+		}
+		if final != 20 {
+			t.Fatalf("seed %d: atomic counter = %d, want 20", seed, final)
+		}
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	res, _ := runL(t, func(th *sched.Thread) {
+		m := NewMatrix("mat", 3, 4)
+		if m.Rows() != 3 || m.Cols() != 4 {
+			th.Fail("t", "shape %dx%d", m.Rows(), m.Cols())
+		}
+		m.Store(th, 1, 2, 42)
+		if m.Load(th, 1, 2) != 42 {
+			th.Fail("t", "load wrong")
+		}
+		if m.Load(th, 2, 1) != 0 {
+			th.Fail("t", "untouched cell nonzero")
+		}
+	})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+}
+
+func TestMatrixPeekPoke(t *testing.T) {
+	m := NewMatrix("mat2", 2, 2)
+	m.Poke(0, 1, 7)
+	if m.Peek(0, 1) != 7 || m.Peek(1, 0) != 0 {
+		t.Fatal("peek/poke broken")
+	}
+}
+
+func TestMatrixAddressing(t *testing.T) {
+	// Row-major layout shares the array's element addressing.
+	m := NewMatrix("mat3", 2, 3)
+	a := NewArray("mat3", 6)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			m.Poke(r, c, uint64(r*3+c))
+		}
+	}
+	_ = a
+	if m.Peek(1, 2) != 5 {
+		t.Fatal("row-major addressing broken")
+	}
+}
+
+func TestNameOf(t *testing.T) {
+	c := NewCell("names.cell", 0)
+	if NameOf(c.Addr()) != "names.cell" {
+		t.Fatalf("NameOf(cell) = %q", NameOf(c.Addr()))
+	}
+	a := NewArray("names.arr", 8)
+	if NameOf(a.ElemAddr(0)) != "names.arr" {
+		t.Fatalf("NameOf(arr[0]) = %q", NameOf(a.ElemAddr(0)))
+	}
+	if NameOf(a.ElemAddr(3)) != "names.arr[3]" {
+		t.Fatalf("NameOf(arr[3]) = %q", NameOf(a.ElemAddr(3)))
+	}
+	if got := NameOf(0x1234); got != "0x0000000000001234" {
+		t.Fatalf("NameOf(unknown) = %q", got)
+	}
+	m := NewMatrix("names.mat", 2, 3)
+	_ = m
+	if NameOf(Addr("names.mat")+8*4) != "names.mat[4]" {
+		t.Fatal("matrix elements should resolve through the array span")
+	}
+}

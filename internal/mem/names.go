@@ -1,0 +1,78 @@
+package mem
+
+import "sync"
+
+// The address registry maps stable virtual addresses back to the
+// variable names that produced them, so diagnostics (race pairs, root
+// causes) can name program variables instead of printing hashes. It is
+// process-global metadata — simulation state never lives here — and is
+// guarded by a host lock because independent executions may allocate
+// concurrently (e.g., parallel replay attempts).
+var (
+	nameMu  sync.RWMutex
+	names   = map[uint64]string{}
+	maxSpan = map[uint64]int{} // array base -> element count
+)
+
+func registerName(addr uint64, name string) {
+	nameMu.Lock()
+	names[addr] = name
+	nameMu.Unlock()
+}
+
+func registerSpan(base uint64, name string, n int) {
+	nameMu.Lock()
+	names[base] = name
+	if n > maxSpan[base] {
+		maxSpan[base] = n
+	}
+	nameMu.Unlock()
+}
+
+// NameOf resolves an address to its variable name: exact cell matches
+// first, then array elements as "name[i]". Unknown addresses render as
+// hex.
+func NameOf(addr uint64) string {
+	nameMu.RLock()
+	defer nameMu.RUnlock()
+	if n, ok := names[addr]; ok {
+		return n
+	}
+	// Array element: scan registered spans. The registry is small (one
+	// entry per named variable), so the linear scan is immaterial.
+	for base, n := range maxSpan {
+		if addr > base && addr < base+8*uint64(n) && (addr-base)%8 == 0 {
+			return names[base] + indexSuffix(int((addr-base)/8))
+		}
+	}
+	return hexAddr(addr)
+}
+
+func indexSuffix(i int) string {
+	return "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func hexAddr(addr uint64) string {
+	const digits = "0123456789abcdef"
+	var b [18]byte
+	b[0], b[1] = '0', 'x'
+	for i := 0; i < 16; i++ {
+		b[17-i] = digits[addr&0xf]
+		addr >>= 4
+	}
+	return string(b[:])
+}

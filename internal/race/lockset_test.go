@@ -1,0 +1,126 @@
+package race
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/ssync"
+	"repro/internal/trace"
+)
+
+func detectLockset(t *testing.T, strategy sched.Strategy, root func(*sched.Thread)) []Pair {
+	t.Helper()
+	d := NewLocksetDetector()
+	res := sched.Run(root, sched.Config{Strategy: strategy, Observers: []sched.Observer{d}})
+	if res.Failure != nil && !res.Failure.IsBug() {
+		t.Fatalf("run broke: %v", res.Failure)
+	}
+	return d.Pairs()
+}
+
+func TestLocksetFlagsUnprotectedCounter(t *testing.T) {
+	pairs := detectLockset(t, sched.Lowest{}, func(th *sched.Thread) {
+		x := mem.NewCell("x", 0)
+		c := th.Spawn("c", func(ct *sched.Thread) {
+			v := x.Load(ct)
+			x.Store(ct, v+1)
+		})
+		v := x.Load(th)
+		x.Store(th, v+1)
+		th.Join(c)
+	})
+	if len(pairs) == 0 {
+		t.Fatal("unprotected counter not flagged")
+	}
+}
+
+func TestLocksetAcceptsConsistentLocking(t *testing.T) {
+	pairs := detectLockset(t, sched.NewRandomMP(4, 0.1, 3), func(th *sched.Thread) {
+		x := mem.NewCell("x", 0)
+		m := ssync.NewMutex("m")
+		var ts []*sched.Thread
+		for i := 0; i < 3; i++ {
+			ts = append(ts, th.Spawn("w", func(ct *sched.Thread) {
+				for j := 0; j < 3; j++ {
+					m.Lock(ct)
+					v := x.Load(ct)
+					x.Store(ct, v+1)
+					m.Unlock(ct)
+				}
+			}))
+		}
+		for _, h := range ts {
+			th.Join(h)
+		}
+	})
+	if len(pairs) != 0 {
+		t.Fatalf("consistently locked counter flagged: %v", pairs)
+	}
+}
+
+func TestLocksetExclusivePhaseSilent(t *testing.T) {
+	// Single-thread access never leaves the exclusive state.
+	pairs := detectLockset(t, sched.Lowest{}, func(th *sched.Thread) {
+		x := mem.NewCell("x", 0)
+		for i := 0; i < 5; i++ {
+			v := x.Load(th)
+			x.Store(th, v+1)
+		}
+	})
+	if len(pairs) != 0 {
+		t.Fatalf("single-thread access flagged: %v", pairs)
+	}
+}
+
+func TestLocksetFlagsEvenWhenHBOrdered(t *testing.T) {
+	// The defining difference from happens-before: accesses fully
+	// serialized by spawn/join edges are still flagged when no common
+	// lock protects them — each thread locks its *own* mutex.
+	prog := func(th *sched.Thread) {
+		x := mem.NewCell("x", 0)
+		m1 := ssync.NewMutex("m1")
+		m2 := ssync.NewMutex("m2")
+		step := func(m *ssync.Mutex) func(*sched.Thread) {
+			return func(ct *sched.Thread) {
+				m.Lock(ct)
+				v := x.Load(ct)
+				x.Store(ct, v+1)
+				m.Unlock(ct)
+			}
+		}
+		for i, m := range []*ssync.Mutex{m1, m2, m1} {
+			c := th.Spawn("c", step(m))
+			th.Join(c) // every access strictly ordered by join edges
+			_ = i
+		}
+	}
+	pairs := detectLockset(t, sched.Lowest{}, prog)
+	if len(pairs) == 0 {
+		t.Fatal("lockset should flag inconsistent locking despite join ordering")
+	}
+	// Happens-before, by contrast, sees the join edges and stays quiet.
+	d := NewDetector()
+	res := sched.Run(prog, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{d}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	if len(d.Pairs()) != 0 {
+		t.Fatal("HB detector flagged join-ordered accesses")
+	}
+}
+
+func TestLocksetPairsDeduplicated(t *testing.T) {
+	d := NewLocksetDetector()
+	st := func(tid trace.TID, tc uint64) trace.Event {
+		return trace.Event{Seq: tc, TID: tid, TCount: tc, Kind: trace.KindStore, Obj: 0x10}
+	}
+	// t1 writes, t2 writes twice with the same identity.
+	d.OnEvent(st(1, 1))
+	d.OnEvent(st(2, 1))
+	n := len(d.Pairs())
+	d.OnEvent(st(2, 1)) // duplicate identity
+	if len(d.Pairs()) != n {
+		t.Fatal("duplicate pair not deduplicated")
+	}
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ExploreOptions bounds an exhaustive schedule exploration.
+type ExploreOptions struct {
+	// MaxRuns bounds the number of executions; 0 means DefaultMaxRuns.
+	MaxRuns int
+	// MaxSteps bounds each execution; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// StopAtFirstFailure ends the exploration at the first failing
+	// schedule instead of enumerating all of them.
+	StopAtFirstFailure bool
+}
+
+// DefaultMaxRuns bounds Explore when ExploreOptions leaves MaxRuns zero.
+const DefaultMaxRuns = 100_000
+
+// ExploreResult summarizes an exhaustive exploration.
+type ExploreResult struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// Complete reports whether the whole schedule space was covered
+	// (false if MaxRuns cut the enumeration short).
+	Complete bool
+	// Failures holds one failure per distinct failing schedule, capped
+	// at 32; FailureCount counts them all.
+	Failures     []*Failure
+	FailureCount int
+	// FirstFailingSchedule is the decision sequence of the first failing
+	// schedule found (replayable by construction).
+	FirstFailingSchedule []int
+}
+
+// exploreStrategy replays a prefix of decisions and takes the first
+// candidate beyond it, recording the fan-out at every step so the
+// enumerator can backtrack.
+type exploreStrategy struct {
+	prefix []int
+	widths []int
+	taken  []int
+}
+
+func (s *exploreStrategy) Pick(view *PickView) (trace.TID, bool) {
+	step := len(s.widths)
+	choice := 0
+	if step < len(s.prefix) {
+		choice = s.prefix[step]
+	}
+	if choice >= len(view.Candidates) {
+		// The program is not schedule-deterministic in its fan-out;
+		// clamp rather than crash (the run is still a valid schedule).
+		choice = len(view.Candidates) - 1
+	}
+	s.widths = append(s.widths, len(view.Candidates))
+	s.taken = append(s.taken, choice)
+	return view.Candidates[choice].TID, true
+}
+
+// Explore exhaustively enumerates the schedules of root — a stateless
+// model checker over the same substrate PRES records and replays on.
+// Every scheduling decision point is branched on, depth-first, so for
+// programs whose space fits in MaxRuns the result is a *proof*: zero
+// failures means no schedule of the program can fail.
+//
+// This is the brute-force contrast to PRES's point: exhaustive
+// enumeration explodes combinatorially (it is only feasible for tiny
+// programs), while sketch-guided probabilistic replay reproduces bugs
+// in large ones within a handful of attempts. It also serves as ground
+// truth in this repository's tests: the corpus's patched variants are
+// verified over full schedule spaces at small scales.
+func Explore(root func(*Thread), opts ExploreOptions) *ExploreResult {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = DefaultMaxRuns
+	}
+	res := &ExploreResult{Complete: true}
+	prefix := []int{}
+	for {
+		if res.Runs >= opts.MaxRuns {
+			res.Complete = false
+			return res
+		}
+		strat := &exploreStrategy{prefix: prefix}
+		out := Run(root, Config{Strategy: strat, MaxSteps: opts.MaxSteps})
+		res.Runs++
+		if out.Failure != nil {
+			res.FailureCount++
+			if len(res.Failures) < 32 {
+				res.Failures = append(res.Failures, out.Failure)
+			}
+			if res.FirstFailingSchedule == nil {
+				res.FirstFailingSchedule = append([]int(nil), strat.taken...)
+			}
+			if opts.StopAtFirstFailure {
+				return res
+			}
+		}
+
+		// Backtrack: advance the deepest decision that still has an
+		// untried sibling; exhausted when none remains.
+		next := advance(strat.taken, strat.widths)
+		if next == nil {
+			return res
+		}
+		prefix = next
+	}
+}
+
+// advance returns the next decision prefix in depth-first order, or nil
+// when the space is exhausted.
+func advance(taken []int, widths []int) []int {
+	for i := len(taken) - 1; i >= 0; i-- {
+		if taken[i]+1 < widths[i] {
+			next := append([]int(nil), taken[:i+1]...)
+			next[i]++
+			return next
+		}
+	}
+	return nil
+}
+
+// ReplaySchedule re-executes root under a decision sequence returned by
+// Explore (e.g., FirstFailingSchedule).
+func ReplaySchedule(root func(*Thread), schedule []int, maxSteps uint64) *Result {
+	return Run(root, Config{Strategy: &exploreStrategy{prefix: schedule}, MaxSteps: maxSteps})
+}
+
+// String renders the result compactly.
+func (r *ExploreResult) String() string {
+	status := "complete"
+	if !r.Complete {
+		status = "truncated"
+	}
+	return fmt.Sprintf("explored %d schedules (%s): %d failing", r.Runs, status, r.FailureCount)
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// twoStep runs two threads doing n unsynchronized scheduling points
+// each; its schedule space is small and known.
+func twoStep(n int, body func(*Thread, int)) func(*Thread) {
+	return func(th *Thread) {
+		a := th.Spawn("a", func(t *Thread) {
+			for i := 0; i < n; i++ {
+				body(t, i)
+			}
+		})
+		b := th.Spawn("b", func(t *Thread) {
+			for i := 0; i < n; i++ {
+				body(t, i)
+			}
+		})
+		th.Join(a)
+		th.Join(b)
+	}
+}
+
+func TestExploreCompletesCleanProgram(t *testing.T) {
+	res := Explore(twoStep(2, func(t *Thread, i int) { t.Yield() }), ExploreOptions{})
+	if !res.Complete {
+		t.Fatal("small space should enumerate completely")
+	}
+	if res.FailureCount != 0 {
+		t.Fatalf("clean program had %d failing schedules", res.FailureCount)
+	}
+	// Interleavings of two 4-op threads plus main's ops: more than a
+	// handful, far fewer than the budget.
+	if res.Runs < 6 {
+		t.Fatalf("suspiciously few schedules: %d", res.Runs)
+	}
+}
+
+func TestExploreFindsEveryFailingSchedule(t *testing.T) {
+	// x starts 0; thread a stores 1; thread b fails iff it reads 1
+	// before a's store... reversed: b fails iff it reads 0 *after*
+	// being scheduled first. Count must match hand analysis: b's load
+	// fails iff it executes before a's store.
+	root := func(th *Thread) {
+		x := 0
+		a := th.Spawn("a", func(t *Thread) {
+			t.Point(&Op{Kind: trace.KindStore, Obj: 1, Effect: func(*EffectCtx) { x = 1 }})
+		})
+		b := th.Spawn("b", func(t *Thread) {
+			var v int
+			t.Point(&Op{Kind: trace.KindLoad, Obj: 1, Effect: func(*EffectCtx) { v = x }})
+			t.Check(v == 1, "saw-zero", "b read before a wrote")
+		})
+		th.Join(a)
+		th.Join(b)
+	}
+	res := Explore(root, ExploreOptions{})
+	if !res.Complete {
+		t.Fatal("space should enumerate completely")
+	}
+	if res.FailureCount == 0 {
+		t.Fatal("the race must fail under some schedule")
+	}
+	if res.FailureCount >= res.Runs {
+		t.Fatal("the race must also pass under some schedule")
+	}
+	if res.FirstFailingSchedule == nil {
+		t.Fatal("first failing schedule not captured")
+	}
+	// The captured schedule replays to the same failure.
+	out := ReplaySchedule(root, res.FirstFailingSchedule, 0)
+	if out.Failure == nil || out.Failure.BugID != "saw-zero" {
+		t.Fatalf("failing schedule did not replay: %v", out.Failure)
+	}
+}
+
+func TestExploreStopAtFirstFailure(t *testing.T) {
+	root := func(th *Thread) {
+		x := 0
+		a := th.Spawn("a", func(t *Thread) {
+			t.Point(&Op{Kind: trace.KindStore, Obj: 1, Effect: func(*EffectCtx) { x = 1 }})
+		})
+		th.Join(a)
+		th.Check(x == 1, "never", "join guarantees the store")
+	}
+	res := Explore(root, ExploreOptions{StopAtFirstFailure: true})
+	if res.FailureCount != 0 {
+		t.Fatalf("join-ordered program failed: %v", res.Failures)
+	}
+}
+
+func TestExploreBudgetTruncates(t *testing.T) {
+	res := Explore(twoStep(4, func(t *Thread, i int) { t.Yield() }), ExploreOptions{MaxRuns: 5})
+	if res.Complete {
+		t.Fatal("budget 5 cannot cover the space")
+	}
+	if res.Runs != 5 {
+		t.Fatalf("runs = %d, want 5", res.Runs)
+	}
+}
+
+func TestAdvanceEnumeration(t *testing.T) {
+	// widths [2,2]: sequences 00,01,10,11 in DFS order.
+	seq := []int{0, 0}
+	widths := []int{2, 2}
+	next := advance(seq, widths)
+	if len(next) != 2 || next[0] != 0 || next[1] != 1 {
+		t.Fatalf("advance(00) = %v", next)
+	}
+	next = advance([]int{0, 1}, widths)
+	if len(next) != 1 || next[0] != 1 {
+		t.Fatalf("advance(01) = %v", next)
+	}
+	if advance([]int{1, 1}, widths) != nil {
+		t.Fatal("advance(11) should exhaust")
+	}
+}
+
+func TestExploreString(t *testing.T) {
+	r := &ExploreResult{Runs: 10, Complete: true, FailureCount: 2}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

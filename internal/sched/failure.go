@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// FailureReason classifies why an execution did not run to completion.
+type FailureReason uint8
+
+const (
+	// ReasonAssert: an application invariant check failed (Thread.Fail).
+	ReasonAssert FailureReason = iota + 1
+	// ReasonCrash: an application panicked outside the Fail API.
+	ReasonCrash
+	// ReasonDeadlock: no thread was runnable while threads remained.
+	ReasonDeadlock
+	// ReasonStepLimit: the execution exceeded Config.MaxSteps.
+	ReasonStepLimit
+	// ReasonDiverged: a replay strategy could no longer honor its
+	// recorded schedule.
+	ReasonDiverged
+	// reasonStopped is internal: the thread was unwound at shutdown.
+	reasonStopped
+)
+
+// String names the reason.
+func (r FailureReason) String() string {
+	switch r {
+	case ReasonAssert:
+		return "assertion"
+	case ReasonCrash:
+		return "crash"
+	case ReasonDeadlock:
+		return "deadlock"
+	case ReasonStepLimit:
+		return "step-limit"
+	case ReasonDiverged:
+		return "diverged"
+	case reasonStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Stuck describes one thread that was blocked when a deadlock was
+// detected.
+type Stuck struct {
+	TID  trace.TID
+	Name string
+	What string
+}
+
+// Failure describes an abnormal end of execution. Failures with
+// ReasonAssert, ReasonCrash or ReasonDeadlock represent manifested bugs;
+// ReasonDiverged and ReasonStepLimit are replay-machinery outcomes.
+type Failure struct {
+	Reason FailureReason
+	BugID  string // stable bug identity for assertion failures
+	TID    trace.TID
+	Step   uint64
+	Msg    string
+	Stuck  []Stuck // populated for deadlocks
+	// Cycle is the waits-for cycle behind a deadlock, when the blocked
+	// operations expose their holders (ssync primitives do): each
+	// thread in the slice waits for the next, and the last waits for
+	// the first. Empty when the hang is not a resource cycle (e.g., a
+	// lost wakeup).
+	Cycle []trace.TID
+}
+
+// Error implements the error interface.
+func (f *Failure) Error() string {
+	if f.BugID != "" {
+		return fmt.Sprintf("%s [%s] at step %d (t%d): %s", f.Reason, f.BugID, f.Step, f.TID, f.Msg)
+	}
+	return fmt.Sprintf("%s at step %d: %s", f.Reason, f.Step, f.Msg)
+}
+
+// IsBug reports whether the failure is a manifested application bug (as
+// opposed to a replay divergence or budget exhaustion).
+func (f *Failure) IsBug() bool {
+	switch f.Reason {
+	case ReasonAssert, ReasonCrash, ReasonDeadlock:
+		return true
+	}
+	return false
+}

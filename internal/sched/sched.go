@@ -1,0 +1,410 @@
+// Package sched implements the deterministic multiprocessor execution
+// substrate that stands in for PRES's control over real OS threads.
+//
+// Application threads are goroutines, but they never run concurrently:
+// every instrumented operation (memory access, synchronization op,
+// system call, function entry, basic-block boundary) is a scheduling
+// point at which the thread parks with a pending operation, and a
+// central scheduler picks which parked thread proceeds next. The total
+// grant order is the execution's global order; strategies (package-level
+// RandomMP for production runs, replay-directed strategies in
+// internal/core) choose the order, and observers (sketch recorders, race
+// detectors, full-order capture) watch it.
+//
+// Because exactly one application thread executes at any moment and all
+// simulation state is mutated either inside operation effects (run on
+// the scheduler goroutine) or between two scheduling points of the
+// running thread, the host program is free of data races without any
+// host-level locking.
+package sched
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Observer watches the committed event stream. OnEvent returns the extra
+// logical cost the observation imposes on the production run (e.g., the
+// cost of appending to a sketch log); pure observers return 0.
+type Observer interface {
+	OnEvent(ev trace.Event) (extraCost uint64)
+}
+
+// Candidate describes one enabled parked thread offered to a Strategy.
+type Candidate struct {
+	TID  trace.TID
+	Kind trace.Kind
+	Obj  uint64
+	Arg  uint64
+	// Cost is the pending op's logical duration; time-weighted
+	// strategies use it to model how long the thread will occupy its
+	// processor.
+	Cost uint64
+}
+
+// PickView is the scheduler state a Strategy sees when choosing the next
+// thread. Candidates are sorted by TID and all enabled.
+type PickView struct {
+	Step       uint64
+	Candidates []Candidate
+}
+
+// Has reports whether tid is among the candidates.
+func (v *PickView) Has(tid trace.TID) bool {
+	for _, c := range v.Candidates {
+		if c.TID == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the candidate for tid, if present.
+func (v *PickView) Find(tid trace.TID) (Candidate, bool) {
+	for _, c := range v.Candidates {
+		if c.TID == tid {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// Strategy decides the interleaving. Pick returns the thread to grant
+// next; ok=false aborts the run with a divergence failure (used by the
+// replayer when the recorded schedule can no longer be honored).
+type Strategy interface {
+	Pick(view *PickView) (tid trace.TID, ok bool)
+}
+
+// Config parameterizes one execution.
+type Config struct {
+	Strategy  Strategy   // required
+	Observers []Observer // called in order for every committed event
+	// MaxSteps bounds the execution; exceeding it fails the run with
+	// ReasonStepLimit. 0 means DefaultMaxSteps.
+	MaxSteps uint64
+}
+
+// DefaultMaxSteps bounds runs whose Config leaves MaxSteps zero.
+const DefaultMaxSteps = 5_000_000
+
+// Result summarizes one execution.
+type Result struct {
+	Failure      *Failure // nil if the program ran to completion
+	Steps        uint64   // scheduling points committed
+	BaseCost     uint64   // logical cost of the bare execution
+	ExtraCost    uint64   // logical cost added by observers (recording)
+	Threads      int      // threads created over the lifetime
+	EventsByKind [trace.NumKinds]uint64
+}
+
+// Overhead returns ExtraCost/BaseCost — the modelled production-run
+// recording overhead as a fraction (0.25 == 25% slowdown).
+func (r *Result) Overhead() float64 {
+	if r.BaseCost == 0 {
+		return 0
+	}
+	return float64(r.ExtraCost) / float64(r.BaseCost)
+}
+
+type threadState uint8
+
+const (
+	stateParked  threadState = iota // at a point with a pending op
+	stateRunning                    // between points (or starting up)
+	stateAsleep                     // at a point with no pending op (cond wait)
+	stateDone
+)
+
+type announcement struct {
+	t      *Thread
+	op     *Op
+	exited bool
+	fail   *Failure
+}
+
+// Scheduler coordinates one execution. Create with Run.
+type Scheduler struct {
+	cfg      Config
+	announce chan announcement
+	stopC    chan struct{}
+	threads  map[trace.TID]*Thread
+	order    []trace.TID // creation order, for deterministic candidate listing
+	nextTID  trace.TID
+	inflight int // threads that will announce before the next pick
+	live     int
+	step     uint64
+	failure  *Failure
+	res      Result
+	sleepReq bool // set by EffectCtx.Sleep during the current grant
+}
+
+// Run executes root as thread 0 under cfg and returns the result. It
+// blocks until every thread has exited (after a failure, remaining
+// threads are unwound).
+func Run(root func(*Thread), cfg Config) *Result {
+	if cfg.Strategy == nil {
+		panic("sched: Config.Strategy is required")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		announce: make(chan announcement),
+		stopC:    make(chan struct{}),
+		threads:  make(map[trace.TID]*Thread),
+	}
+	t0 := s.addThread("main", trace.NoTID)
+	s.inflight = 1
+	go s.runThread(t0, root)
+	s.loop()
+	s.res.Failure = s.failure
+	s.res.Steps = s.step
+	return &s.res
+}
+
+func (s *Scheduler) addThread(name string, parent trace.TID) *Thread {
+	t := &Thread{
+		id:     s.nextTID,
+		name:   name,
+		parent: parent,
+		s:      s,
+		grant:  make(chan struct{}),
+		state:  stateRunning,
+	}
+	s.nextTID++
+	s.threads[t.id] = t
+	s.order = append(s.order, t.id)
+	s.live++
+	s.res.Threads++
+	return t
+}
+
+// runThread is the goroutine wrapper for one application thread.
+func (s *Scheduler) runThread(t *Thread, fn func(*Thread)) {
+	var fail *Failure
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if f, ok := r.(*Failure); ok {
+				fail = f
+				return
+			}
+			// A non-Failure panic is an application crash: treat it as
+			// a manifested failure so the harness can observe it.
+			fail = &Failure{
+				Reason: ReasonCrash,
+				TID:    t.id,
+				Step:   s.step,
+				Msg:    fmt.Sprint(r),
+			}
+		}()
+		t.Point(&Op{Kind: trace.KindThreadStart, Obj: uint64(uint32(t.parent))})
+		fn(t)
+		t.Point(&Op{Kind: trace.KindThreadExit})
+	}()
+	if fail != nil && fail.Reason == reasonStopped {
+		fail = nil // unwound during shutdown, not a real failure
+	}
+	s.announce <- announcement{t: t, exited: true, fail: fail}
+}
+
+func (s *Scheduler) loop() {
+	for {
+		// Wait until no thread is executing user code.
+		for s.inflight > 0 {
+			a := <-s.announce
+			s.inflight--
+			if a.exited {
+				s.handleExit(a)
+			} else {
+				a.t.pending = a.op
+				a.t.state = stateParked
+			}
+		}
+		if s.failure != nil || s.live == 0 {
+			s.shutdown()
+			return
+		}
+		if s.step >= s.cfg.MaxSteps {
+			s.failure = &Failure{Reason: ReasonStepLimit, Step: s.step,
+				Msg: fmt.Sprintf("execution exceeded %d scheduling points", s.cfg.MaxSteps)}
+			s.shutdown()
+			return
+		}
+		view := s.buildView()
+		if len(view.Candidates) == 0 {
+			s.failure = s.deadlockFailure()
+			s.shutdown()
+			return
+		}
+		tid, ok := s.cfg.Strategy.Pick(view)
+		if !ok {
+			s.failure = &Failure{Reason: ReasonDiverged, Step: s.step,
+				Msg: "strategy aborted: recorded schedule can no longer be honored"}
+			s.shutdown()
+			return
+		}
+		t := s.threads[tid]
+		if t == nil || t.state != stateParked || !opEnabled(t.pending) {
+			s.failure = &Failure{Reason: ReasonDiverged, Step: s.step, TID: tid,
+				Msg: fmt.Sprintf("strategy picked non-runnable thread %d", tid)}
+			s.shutdown()
+			return
+		}
+		s.grantTo(t)
+	}
+}
+
+func opEnabled(op *Op) bool { return op != nil && (op.Enabled == nil || op.Enabled()) }
+
+func (s *Scheduler) buildView() *PickView {
+	v := &PickView{Step: s.step}
+	for _, tid := range s.order {
+		t := s.threads[tid]
+		if t.state == stateParked && opEnabled(t.pending) {
+			v.Candidates = append(v.Candidates, Candidate{
+				TID:  t.id,
+				Kind: t.pending.Kind,
+				Obj:  t.pending.Obj,
+				Arg:  t.pending.Arg,
+				Cost: t.pending.cost(),
+			})
+		}
+	}
+	return v
+}
+
+func (s *Scheduler) grantTo(t *Thread) {
+	op := t.pending
+	t.pending = nil
+	t.state = stateRunning
+	s.step++
+	t.tcount++
+	ev := trace.Event{
+		Seq:    s.step,
+		TID:    t.id,
+		TCount: t.tcount,
+		Kind:   op.Kind,
+		Obj:    op.Obj,
+		Arg:    op.Arg,
+	}
+	s.res.BaseCost += op.cost()
+	s.sleepReq = false
+	if op.Effect != nil {
+		op.Effect(&EffectCtx{s: s, t: t, Ev: &ev})
+	}
+	if int(ev.Kind) < trace.NumKinds {
+		s.res.EventsByKind[ev.Kind]++
+	}
+	for _, o := range s.cfg.Observers {
+		s.res.ExtraCost += o.OnEvent(ev)
+	}
+	if s.sleepReq {
+		t.state = stateAsleep
+		return // thread stays blocked in Point; no announcement coming
+	}
+	s.inflight++
+	t.grant <- struct{}{}
+}
+
+func (s *Scheduler) handleExit(a announcement) {
+	a.t.state = stateDone
+	s.live--
+	if a.fail != nil && s.failure == nil {
+		s.failure = a.fail
+	}
+}
+
+// shutdown unwinds every remaining thread: parked and asleep threads are
+// woken through the stop channel and panic out of Point; we drain their
+// exit announcements so no goroutine leaks.
+func (s *Scheduler) shutdown() {
+	close(s.stopC)
+	for s.live > 0 {
+		a := <-s.announce
+		if a.exited {
+			s.handleExit(a)
+		}
+		// Non-exit announcements during shutdown come from threads that
+		// were mid-Point when stop closed; they will observe stopC on
+		// their select and exit next. Nothing to do.
+	}
+}
+
+func (s *Scheduler) deadlockFailure() *Failure {
+	f := &Failure{Reason: ReasonDeadlock, Step: s.step}
+	var b strings.Builder
+	b.WriteString("deadlock: no runnable thread;")
+	waitsFor := make(map[trace.TID]trace.TID)
+	for _, tid := range s.order {
+		t := s.threads[tid]
+		switch t.state {
+		case stateParked:
+			desc := t.pending.describe()
+			f.Stuck = append(f.Stuck, Stuck{TID: t.id, Name: t.name, What: desc})
+			fmt.Fprintf(&b, " t%d(%s) blocked at %s;", t.id, t.name, desc)
+			if t.pending.BlockedOn != nil {
+				if h := t.pending.BlockedOn(); h != trace.NoTID {
+					waitsFor[t.id] = h
+				}
+			}
+		case stateAsleep:
+			f.Stuck = append(f.Stuck, Stuck{TID: t.id, Name: t.name, What: "asleep (condition wait)"})
+			fmt.Fprintf(&b, " t%d(%s) asleep in wait;", t.id, t.name)
+		}
+	}
+	f.Cycle = findCycle(waitsFor)
+	if len(f.Cycle) > 0 {
+		fmt.Fprintf(&b, " waits-for cycle: %v;", f.Cycle)
+	}
+	f.Msg = b.String()
+	return f
+}
+
+// findCycle extracts one cycle from the waits-for graph (each node has
+// out-degree at most one, so chasing pointers with a visited set finds
+// any cycle in linear time). Nodes are visited in ascending id order for
+// a deterministic result.
+func findCycle(waitsFor map[trace.TID]trace.TID) []trace.TID {
+	starts := make([]trace.TID, 0, len(waitsFor))
+	for tid := range waitsFor {
+		starts = append(starts, tid)
+	}
+	slices.Sort(starts)
+	done := make(map[trace.TID]bool)
+	for _, start := range starts {
+		if done[start] {
+			continue
+		}
+		pos := map[trace.TID]int{}
+		var path []trace.TID
+		cur := start
+		for {
+			if i, onPath := pos[cur]; onPath {
+				return path[i:]
+			}
+			if done[cur] {
+				break
+			}
+			pos[cur] = len(path)
+			path = append(path, cur)
+			next, ok := waitsFor[cur]
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		for _, tid := range path {
+			done[tid] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,451 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// collector is a test observer that records every committed event and
+// optionally charges a fixed extra cost per event.
+type collector struct {
+	evs  []trace.Event
+	cost uint64
+}
+
+func (c *collector) OnEvent(ev trace.Event) uint64 {
+	c.evs = append(c.evs, ev)
+	return c.cost
+}
+
+func (c *collector) kinds() []trace.Kind {
+	out := make([]trace.Kind, len(c.evs))
+	for i, e := range c.evs {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestSingleThreadCompletes(t *testing.T) {
+	c := &collector{}
+	res := Run(func(th *Thread) {
+		th.Yield()
+		th.Yield()
+	}, Config{Strategy: Lowest{}, Observers: []Observer{c}})
+
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	want := []trace.Kind{trace.KindThreadStart, trace.KindYield, trace.KindYield, trace.KindThreadExit}
+	if !reflect.DeepEqual(c.kinds(), want) {
+		t.Fatalf("kinds = %v, want %v", c.kinds(), want)
+	}
+	if res.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", res.Steps)
+	}
+	if res.Threads != 1 {
+		t.Fatalf("threads = %d, want 1", res.Threads)
+	}
+}
+
+func TestEventSequencing(t *testing.T) {
+	c := &collector{}
+	Run(func(th *Thread) {
+		th.Yield()
+		th.Yield()
+	}, Config{Strategy: Lowest{}, Observers: []Observer{c}})
+	for i, ev := range c.evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.TCount != uint64(i+1) { // single thread: tcount == seq
+			t.Fatalf("event %d has TCount %d", i, ev.TCount)
+		}
+	}
+}
+
+func TestSpawnJoin(t *testing.T) {
+	c := &collector{}
+	var childRan bool
+	res := Run(func(th *Thread) {
+		child := th.Spawn("child", func(ct *Thread) {
+			ct.Yield()
+			childRan = true
+		})
+		th.Join(child)
+		if !childRan {
+			t.Error("join returned before child finished")
+		}
+	}, Config{Strategy: Lowest{}, Observers: []Observer{c}})
+
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	if res.Threads != 2 {
+		t.Fatalf("threads = %d, want 2", res.Threads)
+	}
+	// The spawn event must carry the child tid in Arg.
+	var spawn *trace.Event
+	for i := range c.evs {
+		if c.evs[i].Kind == trace.KindSpawn {
+			spawn = &c.evs[i]
+		}
+	}
+	if spawn == nil || spawn.Arg != 1 {
+		t.Fatalf("spawn event = %v, want Arg=1", spawn)
+	}
+}
+
+func TestJoinWaitsForExit(t *testing.T) {
+	// With Lowest, the parent (tid 0) is always preferred; Join must be
+	// disabled until the child exits, forcing the child to run.
+	res := Run(func(th *Thread) {
+		ch := th.Spawn("c", func(ct *Thread) {
+			for i := 0; i < 5; i++ {
+				ct.Yield()
+			}
+		})
+		th.Join(ch)
+	}, Config{Strategy: Lowest{}})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+}
+
+func TestAssertionFailure(t *testing.T) {
+	res := Run(func(th *Thread) {
+		th.Yield()
+		th.Fail("bug-1", "invariant broken: %d", 42)
+	}, Config{Strategy: Lowest{}})
+	f := res.Failure
+	if f == nil || f.Reason != ReasonAssert || f.BugID != "bug-1" {
+		t.Fatalf("failure = %v", f)
+	}
+	if !f.IsBug() {
+		t.Fatal("assertion should be a bug")
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	res := Run(func(th *Thread) {
+		th.Check(true, "bug-x", "should not fire")
+	}, Config{Strategy: Lowest{}})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+}
+
+func TestCrashCaptured(t *testing.T) {
+	res := Run(func(th *Thread) {
+		th.Yield()
+		panic("segfault")
+	}, Config{Strategy: Lowest{}})
+	f := res.Failure
+	if f == nil || f.Reason != ReasonCrash {
+		t.Fatalf("failure = %v, want crash", f)
+	}
+}
+
+func TestFailureUnwindsSiblings(t *testing.T) {
+	// A failing thread must not leave the run hanging on its siblings.
+	res := Run(func(th *Thread) {
+		th.Spawn("spinner", func(ct *Thread) {
+			for {
+				ct.Yield()
+			}
+		})
+		th.Yield()
+		th.Fail("bug-2", "boom")
+	}, Config{Strategy: Lowest{}})
+	if res.Failure == nil || res.Failure.BugID != "bug-2" {
+		t.Fatalf("failure = %v", res.Failure)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	res := Run(func(th *Thread) {
+		blocked := false
+		th.Point(&Op{
+			Kind:    trace.KindLock,
+			Obj:     0x99,
+			Desc:    "acquire phantom lock",
+			Enabled: func() bool { return blocked },
+		})
+	}, Config{Strategy: Lowest{}})
+	f := res.Failure
+	if f == nil || f.Reason != ReasonDeadlock {
+		t.Fatalf("failure = %v, want deadlock", f)
+	}
+	if len(f.Stuck) != 1 || f.Stuck[0].TID != 0 {
+		t.Fatalf("stuck = %+v", f.Stuck)
+	}
+	if !f.IsBug() {
+		t.Fatal("deadlock should be a bug")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	res := Run(func(th *Thread) {
+		for {
+			th.Yield()
+		}
+	}, Config{Strategy: Lowest{}, MaxSteps: 100})
+	f := res.Failure
+	if f == nil || f.Reason != ReasonStepLimit {
+		t.Fatalf("failure = %v, want step limit", f)
+	}
+	if f.IsBug() {
+		t.Fatal("step limit is not a bug")
+	}
+}
+
+func TestSleepWake(t *testing.T) {
+	// Hand-rolled one-shot condition: t1 sleeps, t0 wakes it.
+	var sleeper *Thread
+	var posted, waiting bool
+	c := &collector{}
+	res := Run(func(th *Thread) {
+		child := th.Spawn("sleeper", func(ct *Thread) {
+			sleeper = ct
+			ct.Point(&Op{
+				Kind: trace.KindWait,
+				Obj:  0x1,
+				Effect: func(ctx *EffectCtx) {
+					waiting = true
+					ctx.Sleep()
+				},
+			})
+			// Returns only after the wake op is granted.
+			if !posted {
+				ct.Fail("order", "woke before post")
+			}
+		})
+		// Block until the child is actually asleep (a real condvar's
+		// wait queue gives this guarantee structurally).
+		th.Point(&Op{Kind: trace.KindYield, Enabled: func() bool { return waiting }})
+		th.Point(&Op{
+			Kind: trace.KindSignal,
+			Obj:  0x1,
+			Effect: func(ctx *EffectCtx) {
+				posted = true
+				ctx.WakeWith(sleeper, &Op{Kind: trace.KindWake, Obj: 0x1})
+			},
+		})
+		th.Join(child)
+	}, Config{Strategy: Lowest{}, Observers: []Observer{c}})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	// Wait must precede Signal which must precede Wake in global order.
+	idx := map[trace.Kind]int{}
+	for i, ev := range c.evs {
+		idx[ev.Kind] = i
+	}
+	if !(idx[trace.KindWait] < idx[trace.KindSignal] && idx[trace.KindSignal] < idx[trace.KindWake]) {
+		t.Fatalf("bad order: %v", c.kinds())
+	}
+}
+
+func TestEnabledGatesExecution(t *testing.T) {
+	// A toy mutex: holder records ownership; contender blocks until free.
+	holder := trace.NoTID
+	lockOp := func(self *Thread) *Op {
+		return &Op{
+			Kind:    trace.KindLock,
+			Obj:     0x5,
+			Enabled: func() bool { return holder == trace.NoTID },
+			Effect:  func(ctx *EffectCtx) { holder = ctx.Self().ID() },
+		}
+	}
+	unlockOp := &Op{
+		Kind:   trace.KindUnlock,
+		Obj:    0x5,
+		Effect: func(ctx *EffectCtx) { holder = trace.NoTID },
+	}
+	inside := 0
+	res := Run(func(th *Thread) {
+		work := func(ct *Thread) {
+			ct.Point(lockOp(ct))
+			inside++
+			ct.Check(inside == 1, "mutex", "mutual exclusion violated")
+			ct.Yield()
+			inside--
+			ct.Point(unlockOp)
+		}
+		a := th.Spawn("a", work)
+		b := th.Spawn("b", work)
+		th.Join(a)
+		th.Join(b)
+	}, Config{Strategy: NewRandomMP(4, 0.1, 7)})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+}
+
+func TestObserverCostAccounting(t *testing.T) {
+	c := &collector{cost: 10}
+	res := Run(func(th *Thread) {
+		th.Yield()
+		th.Yield()
+	}, Config{Strategy: Lowest{}, Observers: []Observer{c}})
+	// 4 events (start, 2 yields, exit) at default cost, 10 extra each.
+	if res.BaseCost != 4*trace.CostUnit {
+		t.Fatalf("BaseCost = %d, want %d", res.BaseCost, 4*trace.CostUnit)
+	}
+	if res.ExtraCost != 40 {
+		t.Fatalf("ExtraCost = %d, want 40", res.ExtraCost)
+	}
+	if got := res.Overhead(); got != 1 {
+		t.Fatalf("Overhead = %v, want 1", got)
+	}
+}
+
+func TestEventsByKind(t *testing.T) {
+	res := Run(func(th *Thread) {
+		th.Yield()
+		th.Yield()
+		th.Yield()
+	}, Config{Strategy: Lowest{}})
+	if res.EventsByKind[trace.KindYield] != 3 {
+		t.Fatalf("yield count = %d", res.EventsByKind[trace.KindYield])
+	}
+	if res.EventsByKind[trace.KindThreadStart] != 1 {
+		t.Fatal("missing thread-start count")
+	}
+}
+
+// program spawns w workers that interleave yields and a shared-counter
+// style op; used for determinism tests.
+func program(w, iters int) func(*Thread) {
+	return func(th *Thread) {
+		var hs []*Thread
+		for i := 0; i < w; i++ {
+			hs = append(hs, th.Spawn("w", func(ct *Thread) {
+				for j := 0; j < iters; j++ {
+					ct.Point(&Op{Kind: trace.KindStore, Obj: 0x100, Arg: uint64(j)})
+					ct.Yield()
+				}
+			}))
+		}
+		for _, h := range hs {
+			th.Join(h)
+		}
+	}
+}
+
+func runCollect(t *testing.T, strat Strategy) []trace.Event {
+	t.Helper()
+	c := &collector{}
+	res := Run(program(3, 10), Config{Strategy: strat, Observers: []Observer{c}})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	return c.evs
+}
+
+func TestRandomMPDeterministicForSeed(t *testing.T) {
+	a := runCollect(t, NewRandomMP(4, 0.05, 42))
+	b := runCollect(t, NewRandomMP(4, 0.05, 42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give identical schedules")
+	}
+}
+
+func TestRandomMPSeedsDiffer(t *testing.T) {
+	a := runCollect(t, NewRandomMP(4, 0.05, 1))
+	for seed := int64(2); seed < 8; seed++ {
+		if !reflect.DeepEqual(a, runCollect(t, NewRandomMP(4, 0.05, seed))) {
+			return // found a differing schedule, as expected
+		}
+	}
+	t.Fatal("7 different seeds produced identical schedules; nondeterminism model broken")
+}
+
+func countSwitches(evs []trace.Event) int {
+	switches := 0
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TID != evs[i-1].TID {
+			switches++
+		}
+	}
+	return switches
+}
+
+func TestRandomMPSingleProcessorIsCoarse(t *testing.T) {
+	// With P=1 and no preemption, a runnable thread keeps its processor
+	// until it blocks: context switches only at spawn/join boundaries.
+	evs := runCollect(t, NewRandomMP(1, 0, 3))
+	if s := countSwitches(evs); s > 12 {
+		t.Fatalf("P=1 preempt=0 had %d context switches; expected coarse schedule", s)
+	}
+}
+
+func TestRandomMPMultiprocessorInterleaves(t *testing.T) {
+	// Threads whose work is long compared to the wake-up latency run
+	// time-parallel on a multiprocessor, so their events interleave.
+	c := &collector{}
+	res := Run(program(3, 300), Config{Strategy: NewRandomMP(8, 0, 3), Observers: []Observer{c}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	if s := countSwitches(c.evs); s < 50 {
+		t.Fatalf("P=8 had only %d context switches; expected fine-grained interleaving", s)
+	}
+	// And P=1 serializes the same workload.
+	c1 := &collector{}
+	res = Run(program(3, 300), Config{Strategy: NewRandomMP(1, 0, 3), Observers: []Observer{c1}})
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	if s1, s8 := countSwitches(c1.evs), countSwitches(c.evs); s1*4 > s8 {
+		t.Fatalf("P=1 (%d switches) should be far coarser than P=8 (%d)", s1, s8)
+	}
+}
+
+func TestOrderStrategyReplaysExactly(t *testing.T) {
+	c := &collector{}
+	res := Run(program(3, 10), Config{Strategy: NewRandomMP(4, 0.05, 99), Observers: []Observer{c}})
+	if res.Failure != nil {
+		t.Fatalf("record failed: %v", res.Failure)
+	}
+	order := make([]trace.TID, len(c.evs))
+	for i, ev := range c.evs {
+		order[i] = ev.TID
+	}
+
+	c2 := &collector{}
+	res2 := Run(program(3, 10), Config{Strategy: &OrderStrategy{Order: order}, Observers: []Observer{c2}})
+	if res2.Failure != nil {
+		t.Fatalf("replay failed: %v", res2.Failure)
+	}
+	if !reflect.DeepEqual(c.evs, c2.evs) {
+		t.Fatal("full-order replay did not reproduce the event stream")
+	}
+}
+
+func TestOrderStrategyDivergesWhenExhausted(t *testing.T) {
+	res := Run(program(2, 5), Config{Strategy: &OrderStrategy{Order: []trace.TID{0, 0}}})
+	if res.Failure == nil || res.Failure.Reason != ReasonDiverged {
+		t.Fatalf("failure = %v, want diverged", res.Failure)
+	}
+}
+
+func TestOrderStrategyDivergesOnWrongThread(t *testing.T) {
+	// Thread 5 never exists.
+	res := Run(program(2, 5), Config{Strategy: &OrderStrategy{Order: []trace.TID{0, 5}}})
+	if res.Failure == nil || res.Failure.Reason != ReasonDiverged {
+		t.Fatalf("failure = %v, want diverged", res.Failure)
+	}
+}
+
+func TestFailureError(t *testing.T) {
+	f := &Failure{Reason: ReasonAssert, BugID: "b", Step: 3, TID: 1, Msg: "m"}
+	if f.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	f2 := &Failure{Reason: ReasonDeadlock, Step: 9, Msg: "stuck"}
+	if f2.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

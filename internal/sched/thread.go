@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Op describes one instrumented operation a thread is about to perform.
+// The scheduler evaluates Enabled each round; when the op is granted,
+// Effect runs on the scheduler goroutine (with every other thread
+// parked) and may mutate any simulation state.
+type Op struct {
+	Kind trace.Kind
+	Obj  uint64
+	Arg  uint64
+	// Enabled reports whether the op can currently proceed (e.g., a lock
+	// acquire is enabled iff the mutex is free). nil means always.
+	Enabled func() bool
+	// Effect applies the op at grant time. It may adjust the committed
+	// event via ctx.Ev (e.g., record the loaded value in Arg), put the
+	// thread to sleep, wake other threads, or spawn threads.
+	Effect func(ctx *EffectCtx)
+	// Cost is the op's logical cost in time units (tenths of one
+	// instrumented memory access; see trace.CostUnit). 0 means one
+	// access, trace.CostUnit.
+	Cost uint64
+	// Desc, if set, labels the op in deadlock reports.
+	Desc string
+	// DescFn, if set, supplements Desc with dynamic state (e.g., the
+	// current holder of a contended mutex) when a deadlock is reported.
+	DescFn func() string
+	// BlockedOn, if set, names the thread this op is currently waiting
+	// for (the holder of the contended resource); the deadlock detector
+	// uses it to extract waits-for cycles. Return trace.NoTID when the
+	// holder is unknown or the op is not blocked.
+	BlockedOn func() trace.TID
+}
+
+func (op *Op) cost() uint64 {
+	if op.Cost == 0 {
+		return trace.CostUnit
+	}
+	return op.Cost
+}
+
+func (op *Op) describe() string {
+	if op == nil {
+		return "?"
+	}
+	desc := op.Desc
+	if op.DescFn != nil {
+		desc += " " + op.DescFn()
+	}
+	if desc != "" {
+		return fmt.Sprintf("%s (%s obj=%#x)", desc, op.Kind, op.Obj)
+	}
+	return fmt.Sprintf("%s obj=%#x", op.Kind, op.Obj)
+}
+
+// EffectCtx is passed to Op.Effect at grant time.
+type EffectCtx struct {
+	s *Scheduler
+	t *Thread
+	// Ev is the event about to be committed; Effect may fill Arg (e.g.,
+	// the value a load observed) before observers see it.
+	Ev *trace.Event
+}
+
+// Self returns the thread performing the op.
+func (c *EffectCtx) Self() *Thread { return c.t }
+
+// Sleep keeps the performing thread blocked after the effect: it stays
+// at its point with no pending op until another thread's effect calls
+// WakeWith. Used for condition-variable wait.
+func (c *EffectCtx) Sleep() { c.s.sleepReq = true }
+
+// WakeWith installs op as the pending operation of an asleep thread,
+// making it schedulable again. The woken thread's Point call returns
+// only when that op is later granted.
+func (c *EffectCtx) WakeWith(t *Thread, op *Op) {
+	if t.state != stateAsleep {
+		panic(fmt.Sprintf("sched: WakeWith on thread %d in state %d", t.id, t.state))
+	}
+	t.pending = op
+	t.state = stateParked
+}
+
+// Spawn creates a new thread running fn and returns it. Must only be
+// called from the effect of a KindSpawn op; the spawn event's Arg is set
+// to the child id.
+func (c *EffectCtx) Spawn(name string, fn func(*Thread)) *Thread {
+	child := c.s.addThread(name, c.t.id)
+	child.state = stateRunning
+	c.s.inflight++
+	c.Ev.Arg = uint64(uint32(child.id))
+	go c.s.runThread(child, fn)
+	return child
+}
+
+// Now returns the current global step count.
+func (c *EffectCtx) Now() uint64 { return c.s.step }
+
+// Thread is one simulated application thread. All methods must be called
+// from the thread's own goroutine (they park the caller at scheduling
+// points).
+type Thread struct {
+	id     trace.TID
+	name   string
+	parent trace.TID
+	s      *Scheduler
+	grant  chan struct{}
+
+	// The fields below are owned by the scheduler goroutine while the
+	// thread is parked and by the thread while running; the announce and
+	// grant channel handshakes order every transfer.
+	pending *Op
+	state   threadState
+	tcount  uint64
+
+	// exited flags threads whose goroutine has finished; used by Join.
+	// Owned like state.
+}
+
+// ID returns the thread id.
+func (t *Thread) ID() trace.TID { return t.id }
+
+// Name returns the debug name given at spawn.
+func (t *Thread) Name() string { return t.name }
+
+// Point parks the thread at an instrumented operation and returns after
+// the scheduler grants it and the effect has been applied. This is the
+// only blocking primitive; everything else builds on it.
+func (t *Thread) Point(op *Op) {
+	if op.Kind == trace.KindInvalid {
+		panic("sched: Point with invalid kind")
+	}
+	t.s.announce <- announcement{t: t, op: op}
+	select {
+	case <-t.grant:
+	case <-t.s.stopC:
+		panic(&Failure{Reason: reasonStopped})
+	}
+}
+
+// Yield parks the thread at a pure scheduling point with no effect.
+func (t *Thread) Yield() {
+	t.Point(&Op{Kind: trace.KindYield})
+}
+
+// Spawn starts fn as a new thread and returns its handle. The spawn
+// itself is a scheduling point (and a sync/syscall-class event for the
+// sketches, mirroring clone(2)).
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
+	var child *Thread
+	t.Point(&Op{
+		Kind: trace.KindSpawn,
+		Desc: "spawn " + name,
+		Effect: func(ctx *EffectCtx) {
+			child = ctx.Spawn(name, fn)
+		},
+	})
+	return child
+}
+
+// Join blocks until other has exited. Join is a scheduling point enabled
+// only once the target is done, mirroring pthread_join.
+func (t *Thread) Join(other *Thread) {
+	t.Point(&Op{
+		Kind:    trace.KindJoin,
+		Obj:     uint64(uint32(other.id)),
+		Desc:    "join " + other.name,
+		Enabled: func() bool { return other.state == stateDone },
+	})
+}
+
+// Fail aborts the execution with an assertion failure carrying a stable
+// bug id; the harness matches it against the corpus entry.
+func (t *Thread) Fail(bugID, format string, args ...any) {
+	panic(&Failure{
+		Reason: ReasonAssert,
+		BugID:  bugID,
+		TID:    t.id,
+		Step:   t.s.step,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Check fails the execution with bugID unless cond holds.
+func (t *Thread) Check(cond bool, bugID, format string, args ...any) {
+	if !cond {
+		t.Fail(bugID, format, args...)
+	}
+}

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SketchEntry is one recorded sketch point: the identity of the thread
+// that performed the k-th sketch-kind operation, the operation kind and
+// the object it touched. This triple is what the replayer enforces.
+type SketchEntry struct {
+	TID  TID
+	Kind Kind
+	Obj  uint64
+}
+
+// String renders the entry for diagnostics.
+func (e SketchEntry) String() string {
+	return fmt.Sprintf("t%d %s obj=%#x", e.TID, e.Kind, e.Obj)
+}
+
+// EntryOf projects an event onto its sketch entry.
+func EntryOf(ev Event) SketchEntry {
+	return SketchEntry{TID: ev.TID, Kind: ev.Kind, Obj: ev.Obj}
+}
+
+// SketchLog is the ordered sequence of sketch points recorded during a
+// production run, plus bookkeeping used by the overhead experiments.
+type SketchLog struct {
+	Scheme  string        // recording scheme name, e.g. "SYNC"
+	Entries []SketchEntry // global order of sketch points
+	// TotalOps is the total number of instrumentation points the
+	// execution performed (recorded or not); Entries/TotalOps is the
+	// sketch density.
+	TotalOps uint64
+	// Records is the number of log records the entries represent: equal
+	// to len(Entries) except for RW sketches, whose basic-block entries
+	// are run-length encodings of every private access in the block.
+	Records uint64
+}
+
+// Append records one sketch point.
+func (l *SketchLog) Append(ev Event) {
+	l.Entries = append(l.Entries, EntryOf(ev))
+}
+
+// Len returns the number of recorded sketch points.
+func (l *SketchLog) Len() int { return len(l.Entries) }
+
+// InputRecord captures one non-deterministic input consumed from the
+// virtual syscall layer (file read, socket receive, clock sample, rng
+// draw). Inputs are recorded under every scheme, including BASE.
+type InputRecord struct {
+	TID  TID
+	Call uint64 // vsys call code
+	Data []byte // the bytes/value the call returned
+}
+
+// InputLog is the ordered per-execution input record.
+type InputLog struct {
+	Records []InputRecord
+}
+
+// Append adds one input record.
+func (l *InputLog) Append(r InputRecord) { l.Records = append(l.Records, r) }
+
+// Len returns the number of records.
+func (l *InputLog) Len() int { return len(l.Records) }
+
+// FullOrder is a captured total grant order: the thread id scheduled at
+// every instrumentation point. Replaying it verbatim reproduces the
+// execution deterministically — this is what PRES captures after the
+// first successful replay so the bug then reproduces every time.
+type FullOrder struct {
+	Order []TID
+}
+
+// Len returns the number of scheduling decisions captured.
+func (f *FullOrder) Len() int { return len(f.Order) }
+
+// Log format magic bytes and version.
+const (
+	magicSketch = "PRSK"
+	magicInput  = "PRIN"
+	magicFull   = "PRFO"
+	logVersion  = 1
+)
+
+// ErrBadFormat reports a corrupt or foreign log file.
+var ErrBadFormat = errors.New("trace: bad log format")
+
+// Decoder sanity limits: declared sizes beyond these are rejected
+// rather than allocated, so corrupt or hostile files cannot exhaust
+// memory. Real logs sit orders of magnitude below every limit.
+const (
+	maxDecodeEntries   = 1 << 26 // sketch entries / schedule decisions
+	maxDecodeRecords   = 1 << 24 // input records
+	maxInputRecordSize = 1 << 24 // bytes per input record
+)
+
+// EncodeSketch writes l to w in the compact binary format. Thread ids,
+// kinds and objects are varint-encoded; the common case (SYNC/SYS
+// sketches of long runs) compresses to a few bytes per entry.
+func EncodeSketch(w io.Writer, l *SketchLog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicSketch); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, logVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Scheme)))
+	buf = append(buf, l.Scheme...)
+	buf = binary.AppendUvarint(buf, l.TotalOps)
+	buf = binary.AppendUvarint(buf, l.Records)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Entries)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, e := range l.Entries {
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(e.TID))
+		buf = append(buf, byte(e.Kind))
+		buf = binary.AppendUvarint(buf, e.Obj)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeSketch reads a sketch log in the format written by EncodeSketch.
+func DecodeSketch(r io.Reader) (*SketchLog, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicSketch); err != nil {
+		return nil, err
+	}
+	if err := expectVersion(br); err != nil {
+		return nil, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<10 {
+		return nil, fmt.Errorf("%w: scheme name length %d", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	totalOps, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	records, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodeEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds sanity limit", ErrBadFormat, n)
+	}
+	l := &SketchLog{Scheme: string(name), TotalOps: totalOps, Records: records}
+	l.Entries = make([]SketchEntry, 0, min(n, 1<<20))
+	for i := uint64(0); i < n; i++ {
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		k := Kind(kb)
+		if !k.Valid() {
+			return nil, fmt.Errorf("%w: entry %d has invalid kind %d", ErrBadFormat, i, kb)
+		}
+		obj, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		l.Entries = append(l.Entries, SketchEntry{TID: TID(tid), Kind: k, Obj: obj})
+	}
+	return l, nil
+}
+
+// EncodeInput writes l to w.
+func EncodeInput(w io.Writer, l *InputLog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicInput); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, logVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Records)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, rec := range l.Records {
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(rec.TID))
+		buf = binary.AppendUvarint(buf, rec.Call)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Data)))
+		buf = append(buf, rec.Data...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeInput reads an input log in the format written by EncodeInput.
+func DecodeInput(r io.Reader) (*InputLog, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicInput); err != nil {
+		return nil, err
+	}
+	if err := expectVersion(br); err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodeRecords {
+		return nil, fmt.Errorf("%w: %d input records exceeds sanity limit", ErrBadFormat, n)
+	}
+	l := &InputLog{Records: make([]InputRecord, 0, min(n, 1<<20))}
+	for i := uint64(0); i < n; i++ {
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		call, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if size > maxInputRecordSize {
+			return nil, fmt.Errorf("%w: input record %d size %d", ErrBadFormat, i, size)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, err
+		}
+		l.Records = append(l.Records, InputRecord{TID: TID(tid), Call: call, Data: data})
+	}
+	return l, nil
+}
+
+// EncodeFullOrder writes f to w. Consecutive grants to the same thread
+// are run-length encoded: real schedules have long same-thread runs
+// between context switches.
+func EncodeFullOrder(w io.Writer, f *FullOrder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicFull); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, logVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Order)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for i := 0; i < len(f.Order); {
+		j := i
+		for j < len(f.Order) && f.Order[j] == f.Order[i] {
+			j++
+		}
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(f.Order[i]))
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		i = j
+	}
+	return bw.Flush()
+}
+
+// DecodeFullOrder reads a full-order trace written by EncodeFullOrder.
+func DecodeFullOrder(r io.Reader) (*FullOrder, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicFull); err != nil {
+		return nil, err
+	}
+	if err := expectVersion(br); err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodeEntries {
+		return nil, fmt.Errorf("%w: %d schedule decisions exceeds sanity limit", ErrBadFormat, n)
+	}
+	f := &FullOrder{Order: make([]TID, 0, min(n, 1<<24))}
+	for uint64(len(f.Order)) < n {
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		run, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if run == 0 || uint64(len(f.Order))+run > n {
+			return nil, fmt.Errorf("%w: bad run length %d", ErrBadFormat, run)
+		}
+		for k := uint64(0); k < run; k++ {
+			f.Order = append(f.Order, TID(tid))
+		}
+	}
+	return f, nil
+}
+
+func expectMagic(br *bufio.Reader, magic string) error {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(got) != magic {
+		return fmt.Errorf("%w: magic %q, want %q", ErrBadFormat, got, magic)
+	}
+	return nil
+}
+
+func expectVersion(br *bufio.Reader) error {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if v != logVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadFormat, v, logVersion)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// SketchWriter streams sketch entries to an io.Writer as they are
+// recorded, the way a production deployment writes its log — bounded
+// memory regardless of run length, explicit flush points, and a
+// finalizing footer carrying the run totals. The stream format is
+// distinct from the batch format of EncodeSketch (which retains the
+// entry count up front); DecodeSketchStream reads it back.
+type SketchWriter struct {
+	bw      *bufio.Writer
+	scheme  string
+	entries uint64
+	closed  bool
+	err     error
+}
+
+const magicSketchStream = "PRSS"
+
+// NewSketchWriter starts a stream for the given scheme.
+func NewSketchWriter(w io.Writer, scheme string) (*SketchWriter, error) {
+	sw := &SketchWriter{bw: bufio.NewWriter(w), scheme: scheme}
+	if _, err := sw.bw.WriteString(magicSketchStream); err != nil {
+		return nil, err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, logVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(scheme)))
+	buf = append(buf, scheme...)
+	if _, err := sw.bw.Write(buf); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Append streams one sketch entry. Errors are sticky and re-reported by
+// Close.
+func (sw *SketchWriter) Append(e SketchEntry) {
+	if sw.err != nil || sw.closed {
+		return
+	}
+	// Tag byte 1 = entry follows (0 terminates the stream in Close).
+	var buf []byte
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(e.TID))
+	buf = append(buf, byte(e.Kind))
+	buf = binary.AppendUvarint(buf, e.Obj)
+	if _, err := sw.bw.Write(buf); err != nil {
+		sw.err = err
+		return
+	}
+	sw.entries++
+}
+
+// Entries returns the number of entries streamed so far.
+func (sw *SketchWriter) Entries() uint64 { return sw.entries }
+
+// Flush forces buffered entries to the underlying writer — the
+// production recorder calls this at quiescent points so a crash loses
+// at most the buffer.
+func (sw *SketchWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.bw.Flush()
+}
+
+// Close terminates the stream with a footer (totalOps, records) and
+// flushes. The writer is unusable afterwards.
+func (sw *SketchWriter) Close(totalOps, records uint64) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return fmt.Errorf("trace: sketch stream already closed")
+	}
+	sw.closed = true
+	var buf []byte
+	buf = append(buf, 0) // terminator
+	buf = binary.AppendUvarint(buf, totalOps)
+	buf = binary.AppendUvarint(buf, records)
+	if _, err := sw.bw.Write(buf); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// DecodeSketchStream reads a stream written by SketchWriter. A stream
+// cut off before its footer (a crashed recorder) decodes successfully
+// with Truncated=true and whatever entries were flushed — exactly the
+// salvage behaviour a diagnosis tool needs.
+func DecodeSketchStream(r io.Reader) (log *SketchLog, truncated bool, err error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, magicSketchStream); err != nil {
+		return nil, false, err
+	}
+	if err := expectVersion(br); err != nil {
+		return nil, false, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, false, err
+	}
+	if nameLen > 1<<10 {
+		return nil, false, fmt.Errorf("%w: scheme name length %d", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, false, err
+	}
+	l := &SketchLog{Scheme: string(name)}
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return l, true, nil // no footer: salvaged prefix
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if tag == 0 {
+			break
+		}
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return l, true, nil
+		}
+		kb, err := br.ReadByte()
+		if err != nil {
+			return l, true, nil
+		}
+		k := Kind(kb)
+		if !k.Valid() {
+			return nil, false, fmt.Errorf("%w: invalid kind %d in stream", ErrBadFormat, kb)
+		}
+		obj, err := binary.ReadUvarint(br)
+		if err != nil {
+			return l, true, nil
+		}
+		l.Entries = append(l.Entries, SketchEntry{TID: TID(tid), Kind: k, Obj: obj})
+	}
+	if l.TotalOps, err = binary.ReadUvarint(br); err != nil {
+		return l, true, nil
+	}
+	if l.Records, err = binary.ReadUvarint(br); err != nil {
+		return l, true, nil
+	}
+	return l, false, nil
+}

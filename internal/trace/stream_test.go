@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSketchStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSketchWriter(&buf, "SYNC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SketchEntry{
+		{TID: 0, Kind: KindLock, Obj: 7},
+		{TID: 2, Kind: KindUnlock, Obj: 7},
+		{TID: 1, Kind: KindBarrier, Obj: 99},
+	}
+	for _, e := range want {
+		sw.Append(e)
+	}
+	if sw.Entries() != 3 {
+		t.Fatalf("entries = %d", sw.Entries())
+	}
+	if err := sw.Close(500, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	got, truncated, err := DecodeSketchStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("complete stream reported truncated")
+	}
+	if got.Scheme != "SYNC" || got.TotalOps != 500 || got.Records != 3 {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Entries) != len(want) {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	for i := range want {
+		if got.Entries[i] != want[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got.Entries[i], want[i])
+		}
+	}
+}
+
+func TestSketchStreamSalvagesTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSketchWriter(&buf, "SYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sw.Append(SketchEntry{TID: TID(i % 3), Kind: KindSyscall, Obj: uint64(i)})
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Decode whatever was flushed.
+	got, truncated, err := DecodeSketchStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("footer-less stream must report truncated")
+	}
+	if len(got.Entries) != 10 {
+		t.Fatalf("salvaged %d entries, want 10", len(got.Entries))
+	}
+}
+
+func TestSketchStreamMidEntryTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewSketchWriter(&buf, "SYNC")
+	for i := 0; i < 5; i++ {
+		sw.Append(SketchEntry{TID: 1, Kind: KindLock, Obj: 0xABCDEF})
+	}
+	sw.Flush()
+	// Cut inside the last entry.
+	cut := buf.Bytes()[:buf.Len()-2]
+	got, truncated, err := DecodeSketchStream(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("cut stream must report truncated")
+	}
+	if len(got.Entries) == 0 || len(got.Entries) > 5 {
+		t.Fatalf("salvaged %d entries", len(got.Entries))
+	}
+}
+
+func TestSketchStreamCloseTwice(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewSketchWriter(&buf, "BB")
+	if err := sw.Close(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(1, 0); err == nil {
+		t.Fatal("double close should error")
+	}
+	sw.Append(SketchEntry{TID: 1, Kind: KindBB}) // must be a no-op
+	if sw.Entries() != 0 {
+		t.Fatal("append after close counted")
+	}
+}
+
+func TestSketchStreamRejectsForeignMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSketch(&buf, &SketchLog{Scheme: "SYNC"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSketchStream(&buf); err == nil {
+		t.Fatal("batch format accepted as stream")
+	}
+}
+
+func TestPropSketchStreamRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		sw, err := NewSketchWriter(&buf, "RW")
+		if err != nil {
+			return false
+		}
+		n := r.Intn(100)
+		var want []SketchEntry
+		for i := 0; i < n; i++ {
+			e := SketchEntry{
+				TID:  TID(r.Intn(8)),
+				Kind: Kind(1 + r.Intn(int(numKinds)-1)),
+				Obj:  uint64(r.Int63()),
+			}
+			want = append(want, e)
+			sw.Append(e)
+		}
+		if err := sw.Close(uint64(n)*3, uint64(n)); err != nil {
+			return false
+		}
+		got, truncated, err := DecodeSketchStream(&buf)
+		if err != nil || truncated || len(got.Entries) != n {
+			return false
+		}
+		for i := range want {
+			if got.Entries[i] != want[i] {
+				return false
+			}
+		}
+		return got.TotalOps == uint64(n)*3 && got.Records == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sketch"
+	"repro/internal/ssync"
+	"repro/internal/trace"
+)
+
+// Substrate micro-benchmarks: the raw costs that bound every experiment
+// above — scheduling-point throughput, primitive operations, recorder
+// appends.
+
+// BenchmarkSchedulingPoint measures the substrate's event throughput:
+// the announce/grant handshake plus bookkeeping per instrumented op.
+func BenchmarkSchedulingPoint(b *testing.B) {
+	res := sched.Run(func(th *sched.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Yield()
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: uint64(b.N) + 10})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkMutexRoundTrip measures a lock/unlock pair under the
+// simulated scheduler.
+func BenchmarkMutexRoundTrip(b *testing.B) {
+	res := sched.Run(func(th *sched.Thread) {
+		m := ssync.NewMutex("bench")
+		for i := 0; i < b.N; i++ {
+			m.Lock(th)
+			m.Unlock(th)
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: 2*uint64(b.N) + 10})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkCellStore measures one shared-memory write.
+func BenchmarkCellStore(b *testing.B) {
+	res := sched.Run(func(th *sched.Thread) {
+		x := mem.NewCell("bench.x", 0)
+		for i := 0; i < b.N; i++ {
+			x.Store(th, uint64(i))
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: uint64(b.N) + 10})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkSketchAppend measures the real in-memory recorder append.
+func BenchmarkSketchAppend(b *testing.B) {
+	r := sketch.NewRecorder(sketch.SYNC)
+	ev := trace.Event{TID: 1, TCount: 1, Kind: trace.KindLock, Obj: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.OnEvent(ev)
+	}
+}
+
+// BenchmarkReproduceRun measures deterministic full-order replay of a
+// corpus bug — the "every time" path a developer loops in a debugger.
+func BenchmarkReproduceRun(b *testing.B) {
+	prog, _ := repro.ProgramForBug("fft-barrier")
+	oracle := repro.MatchBugID("fft-barrier")
+	var rec *repro.Recording
+	for seed := int64(0); seed < 3000; seed++ {
+		r := repro.Record(prog, repro.Options{Scheme: repro.SYNC, Processors: 4, ScheduleSeed: seed, WorldSeed: 1})
+		if f := r.BugFailure(); f != nil && oracle(f) {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		b.Fatal("no buggy seed")
+	}
+	res := repro.Replay(prog, rec, repro.ReplayOptions{Feedback: true, Oracle: oracle})
+	if !res.Reproduced {
+		b.Fatal("setup failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := repro.Reproduce(prog, rec, res.Order)
+		if out.Failure == nil {
+			b.Fatal("lost the bug")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// demoProgram is the doc-comment example: a two-thread order violation.
+func demoProgram() *repro.Program {
+	return &repro.Program{
+		Name: "demo",
+		Run: func(env *repro.Env) {
+			th := env.T
+			data := repro.NewCell("data", 0)
+			ready := repro.NewCell("ready", 0)
+			prod := th.Spawn("producer", func(t *repro.Thread) {
+				ready.Store(t, 1) // bug: published before data
+				t.Yield()
+				data.Store(t, 7)
+			})
+			cons := th.Spawn("consumer", func(t *repro.Thread) {
+				if ready.Load(t) == 1 {
+					t.Check(data.Load(t) == 7, "demo-bug", "used before init")
+				}
+			})
+			th.Join(prod)
+			th.Join(cons)
+		},
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	prog := demoProgram()
+	var rec *repro.Recording
+	for seed := int64(0); seed < 200; seed++ {
+		r := repro.Record(prog, repro.Options{
+			Scheme:       repro.SYNC,
+			Processors:   4,
+			ScheduleSeed: seed,
+			MaxSteps:     100_000,
+		})
+		if r.BugFailure() != nil {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("demo bug never manifested")
+	}
+	res := repro.Replay(prog, rec, repro.ReplayOptions{
+		Feedback: true,
+		Oracle:   repro.MatchBugID("demo-bug"),
+	})
+	if !res.Reproduced {
+		t.Fatalf("not reproduced in %d attempts", res.Attempts)
+	}
+	if res.Attempts > 10 {
+		t.Fatalf("took %d attempts", res.Attempts)
+	}
+	out := repro.Reproduce(prog, rec, res.Order)
+	if out.Failure == nil || out.Failure.BugID != "demo-bug" {
+		t.Fatalf("reproduce failed: %v", out.Failure)
+	}
+}
+
+func TestPublicCorpusAccess(t *testing.T) {
+	if len(repro.Programs()) != 11 {
+		t.Fatalf("programs = %d", len(repro.Programs()))
+	}
+	if len(repro.Bugs()) != 13 {
+		t.Fatalf("bugs = %d", len(repro.Bugs()))
+	}
+	b, ok := repro.GetBug("mysql-169")
+	if !ok || b.App != "mysqld" {
+		t.Fatalf("GetBug = %+v, %v", b, ok)
+	}
+	p, ok := repro.ProgramForBug("mysql-169")
+	if !ok || p.Name != "mysqld" {
+		t.Fatal("ProgramForBug broken")
+	}
+	if _, ok := repro.GetProgram("mysqld"); !ok {
+		t.Fatal("GetProgram broken")
+	}
+}
+
+func TestPublicSchemes(t *testing.T) {
+	if len(repro.Schemes()) != 6 {
+		t.Fatalf("schemes = %d", len(repro.Schemes()))
+	}
+	s, err := repro.ParseScheme("sync")
+	if err != nil || s != repro.SYNC {
+		t.Fatalf("ParseScheme = %v, %v", s, err)
+	}
+}
+
+func TestPublicSyncPrimitives(t *testing.T) {
+	prog := &repro.Program{
+		Name: "prims",
+		Run: func(env *repro.Env) {
+			th := env.T
+			m := repro.NewMutex("m")
+			rw := repro.NewRWMutex("rw")
+			c := repro.NewCond("c")
+			sem := repro.NewSemaphore("s", 1)
+			bar := repro.NewBarrier("b", 1)
+			wg := repro.NewWaitGroup("wg")
+			once := repro.NewOnce("once")
+			arr := repro.NewArray("arr", 4)
+
+			m.Lock(th)
+			m.Unlock(th)
+			rw.RLock(th)
+			rw.RUnlock(th)
+			_ = c
+			sem.Acquire(th)
+			sem.Release(th)
+			bar.Await(th)
+			wg.Add(th, 1)
+			wg.Done(th)
+			wg.Wait(th)
+			ran := false
+			once.Do(th, func() { ran = true })
+			th.Check(ran, "prims", "once did not run")
+			arr.Store(th, 0, 5)
+			th.Check(arr.Load(th, 0) == 5, "prims", "array broken")
+
+			repro.Func(th, "f", func() { repro.BB(th, "b1") })
+
+			w := env.W
+			fd := w.Open(th, "/tmp/x")
+			fd.Write(th, []byte("hi"))
+			fd.Close(th)
+			q := w.NewQueue("q")
+			q.Send(th, []byte("msg"))
+			if msg, ok := q.Recv(th); !ok || string(msg) != "msg" {
+				th.Fail("prims", "queue broken")
+			}
+		},
+	}
+	rec := repro.Record(prog, repro.Options{Scheme: repro.RW, ScheduleSeed: 1})
+	if rec.Result.Failure != nil {
+		t.Fatal(rec.Result.Failure)
+	}
+}
+
+func TestExploreProgram(t *testing.T) {
+	// A tiny corpus-style program: the fixed variant must have zero
+	// failing schedules within the budget window it fully covers.
+	prog := &repro.Program{
+		Name: "tiny",
+		Run: func(env *repro.Env) {
+			th := env.T
+			x := repro.NewCell("x", 0)
+			m := repro.NewMutex("m")
+			work := func(t *repro.Thread) {
+				if env.FixBugs {
+					m.Lock(t)
+				}
+				v := x.Load(t)
+				x.Store(t, v+1)
+				if env.FixBugs {
+					m.Unlock(t)
+				}
+			}
+			a := th.Spawn("a", work)
+			b := th.Spawn("b", work)
+			th.Join(a)
+			th.Join(b)
+			th.Check(x.Peek() == 2, "tiny-lost", "lost update: %d", x.Peek())
+		},
+	}
+	buggy := repro.ExploreProgram(prog, repro.Options{}, repro.ExploreOptions{})
+	if !buggy.Complete || buggy.FailureCount == 0 {
+		t.Fatalf("buggy variant: %v", buggy)
+	}
+	fixed := repro.ExploreProgram(prog, repro.Options{FixBugs: true}, repro.ExploreOptions{})
+	if !fixed.Complete || fixed.FailureCount != 0 {
+		t.Fatalf("fixed variant: %v", fixed)
+	}
+}
