@@ -1,0 +1,25 @@
+# Standard-library-only Go module; these targets just bundle the
+# invocations CI and contributors run by hand.
+
+GO ?= go
+
+.PHONY: check build vet test bench
+
+## check: the full gate — build everything, vet, test under -race.
+check: build vet
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: substrate micro-benchmarks, including the observability
+## overhead pairs (SchedulingPointMetricsOff/On, ReplaySearchMetricsOff/On)
+## that back OBSERVABILITY.md's disabled-means-free claim.
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1s .

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -34,13 +35,33 @@ func main() {
 	overheadScale := flag.Int("overhead-scale", 800, "workload scale for overhead/log-size runs")
 	replays := flag.Int("e6-replays", 100, "re-replays per bug in E6")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	metricsOut := flag.String("metrics-out", "", "write an aggregate metrics snapshot to this file")
+	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace of every replay attempt across all experiments")
 	flag.Parse()
+
+	if *metricsFormat != "json" && *metricsFormat != "prom" && *metricsFormat != "prometheus" {
+		log.Fatalf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
+	}
 
 	cfg := harness.Config{
 		Processors:    *procs,
 		MaxAttempts:   *budget,
 		SeedBudget:    *seedBudget,
 		OverheadScale: *overheadScale,
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		cfg.Trace = obs.NewTraceSink(tf)
 	}
 
 	var schemes []sketch.Scheme
@@ -145,6 +166,34 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Err(); err != nil {
+			log.Printf("trace: %v", err)
+		}
+		if !*asJSON {
+			fmt.Printf("attempt trace written to %s (%d events)\n", *traceOut, cfg.Trace.Events())
+		}
+	}
+	if reg != nil {
+		if !*asJSON {
+			fmt.Println("== aggregate metrics ==")
+			harness.PrintMetrics(os.Stdout, reg.Snapshot())
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteSnapshot(f, reg, *metricsFormat); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if !*asJSON {
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 		}
 	}
 }

@@ -32,10 +32,16 @@ func main() {
 	simplify := flag.Bool("simplify", true, "minimize context switches in the captured schedule")
 	parallel := flag.Int("parallel", 1, "replay attempts to run concurrently")
 	verbose := flag.Bool("v", false, "print each replay attempt as it completes")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
+	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
+	traceOut := flag.String("trace-out", "", "write a JSONL attempt trace to this file (see OBSERVABILITY.md)")
 	flag.Parse()
 
 	if *appName == "" || flag.NArg() != 1 {
 		log.Fatal("usage: presreplay -app <name> [-bug <id>] <recording-file>")
+	}
+	if *metricsFormat != "json" && *metricsFormat != "prom" && *metricsFormat != "prometheus" {
+		log.Fatalf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
 	}
 	prog, ok := repro.GetProgram(*appName)
 	if !ok {
@@ -76,10 +82,55 @@ func main() {
 			fmt.Printf("  attempt %-4d %-8s %s\n", i, mode, outcome)
 		}
 	}
+
+	// Observability sinks (see OBSERVABILITY.md for the contract). Both
+	// are flushed on every exit path, including a failed search — a
+	// search that exhausted its budget is exactly the one worth
+	// diffing against a run that succeeded.
+	var reg *repro.MetricsRegistry
+	if *metricsOut != "" {
+		reg = repro.NewMetricsRegistry()
+		ropts.Metrics = reg
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = tf
+		ropts.Trace = repro.NewTraceSink(tf)
+	}
+	flush := func() {
+		if ropts.Trace != nil {
+			if err := ropts.Trace.Err(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			fmt.Printf("attempt trace written to %s (%d events)\n", *traceOut, ropts.Trace.Events())
+		}
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := repro.WriteMetrics(f, reg, *metricsFormat); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}
+	}
+
 	res := repro.Replay(prog, rec, ropts)
 	if !res.Reproduced {
 		fmt.Printf("NOT reproduced within %d attempts (%+v)\n", res.Attempts, res.Stats)
 		fmt.Printf("advice: %s\n", repro.Advise(rec, res))
+		flush()
 		os.Exit(1)
 	}
 	fmt.Printf("reproduced in %d attempts (%d race flips): %v\n", res.Attempts, res.Flips, res.Failure)
@@ -106,4 +157,6 @@ func main() {
 		fmt.Printf("simplified schedule: %d -> %d context switches (%d re-executions)\n",
 			before, repro.Switches(simple), spent)
 	}
+
+	flush()
 }

@@ -32,7 +32,14 @@ func main() {
 	worldSeed := flag.Int64("world-seed", 1, "virtual syscall world seed")
 	fixed := flag.Bool("fixed", false, "run the patched (bug-free) variant")
 	out := flag.String("o", "", "write the recording to this file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
+	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace of every production run probed (see OBSERVABILITY.md)")
 	flag.Parse()
+
+	if *metricsFormat != "json" && *metricsFormat != "prom" && *metricsFormat != "prometheus" {
+		log.Fatalf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
+	}
 
 	scheme, err := repro.ParseScheme(*schemeName)
 	if err != nil {
@@ -65,14 +72,54 @@ func main() {
 		FixBugs:    *fixed,
 	}
 
+	// Observability sinks (see OBSERVABILITY.md). The trace gets one
+	// "record" event per production run probed, so a seed search leaves
+	// a complete audit of what it tried.
+	var reg *repro.MetricsRegistry
+	if *metricsOut != "" {
+		reg = repro.NewMetricsRegistry()
+		opts.Metrics = reg
+	}
+	var sink *repro.TraceSink
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		sink = repro.NewTraceSink(tf)
+	}
+	traceRecord := func(seed int64, r *repro.Recording, bug bool) {
+		outcome := "clean"
+		switch {
+		case bug:
+			outcome = "bug"
+		case r.Result.Failure != nil:
+			outcome = "failure"
+		}
+		sink.Emit(repro.RecordEvent{
+			Event:         repro.EventRecord,
+			Seed:          seed,
+			Outcome:       outcome,
+			Steps:         r.Result.Steps,
+			SketchEntries: r.Sketch.Len(),
+			LogBytes:      r.LogBytes(),
+		})
+	}
+
 	var rec *repro.Recording
 	if *bugID != "" {
 		oracle := repro.MatchBugID(*bugID)
 		for s := *seed; s < *seed+*seedBudget; s++ {
 			opts.ScheduleSeed = s
 			r := repro.Record(prog, opts)
+			hit := false
 			if f := r.BugFailure(); f != nil && oracle(f) {
-				fmt.Printf("bug %s manifested at seed %d: %v\n", *bugID, s, f)
+				hit = true
+			}
+			traceRecord(s, r, hit)
+			if hit {
+				fmt.Printf("bug %s manifested at seed %d: %v\n", *bugID, s, r.BugFailure())
 				rec = r
 				break
 			}
@@ -83,6 +130,7 @@ func main() {
 	} else {
 		opts.ScheduleSeed = *seed
 		rec = repro.Record(prog, opts)
+		traceRecord(*seed, rec, rec.BugFailure() != nil)
 		if f := rec.Result.Failure; f != nil {
 			fmt.Printf("run failed: %v\n", f)
 		} else {
@@ -113,5 +161,25 @@ func main() {
 			fmt.Printf(" -bug %s", *bugID)
 		}
 		fmt.Printf(" %s\n", *out)
+	}
+
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			log.Printf("trace: %v", err)
+		}
+		fmt.Printf("record trace written to %s (%d events)\n", *traceOut, sink.Events())
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := repro.WriteMetrics(f, reg, *metricsFormat); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 }

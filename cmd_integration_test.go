@@ -1,11 +1,14 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 // TestCommandLineWorkflow builds the real binaries and drives the full
@@ -51,16 +54,103 @@ func TestCommandLineWorkflow(t *testing.T) {
 		t.Fatalf("prestrace output:\n%s", out)
 	}
 
-	out = run("presreplay", "-app", "fft", "-bug", "fft-barrier", recFile)
+	metricsFile := filepath.Join(dir, "replay-metrics.json")
+	traceFile := filepath.Join(dir, "replay-trace.jsonl")
+	out = run("presreplay", "-app", "fft", "-bug", "fft-barrier",
+		"-metrics-out", metricsFile, "-trace-out", traceFile, recFile)
 	if !strings.Contains(out, "reproduced in") || !strings.Contains(out, "re-reproduced") {
 		t.Fatalf("presreplay output:\n%s", out)
 	}
 	if !strings.Contains(out, "simplified schedule") {
 		t.Fatalf("presreplay missing simplification:\n%s", out)
 	}
+	checkMetricsJSON(t, metricsFile)
+	checkTraceJSONL(t, traceFile)
+
+	promFile := filepath.Join(dir, "replay-metrics.prom")
+	run("presreplay", "-app", "fft", "-bug", "fft-barrier",
+		"-metrics-out", promFile, "-metrics-format", "prom", recFile)
+	prom, err := os.ReadFile(promFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "# TYPE pres_replay_attempts_total counter") ||
+		!strings.Contains(string(prom), `le="+Inf"`) {
+		t.Fatalf("prometheus metrics:\n%s", prom)
+	}
 
 	out = run("presbench", "-exp", "e9", "-json", "-seed-budget", "500")
 	if !strings.Contains(out, "\"e9\"") || !strings.Contains(out, "\"Reproduced\": true") {
 		t.Fatalf("presbench json output:\n%s", out)
+	}
+}
+
+// checkMetricsJSON asserts the file is a valid repro.MetricsSnapshot
+// with the headline replay series present.
+func checkMetricsJSON(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap repro.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not a snapshot: %v\n%s", err, raw)
+	}
+	var attempts uint64
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "pres_replay_attempts_total{") {
+			attempts += v
+		}
+	}
+	if attempts == 0 {
+		t.Fatalf("no pres_replay_attempts_total series in %v", snap.Counters)
+	}
+	if snap.Counters["sched_steps_total"] == 0 {
+		t.Fatalf("scheduler counters missing: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["pres_replay_attempt_wall_seconds"]; !ok {
+		t.Fatalf("attempt wall histogram missing: %v", snap.Histograms)
+	}
+}
+
+// checkTraceJSONL asserts the trace is valid JSONL: one attempt event
+// per attempt with the contract's fields, closed by a summary event.
+func checkTraceJSONL(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines; want attempts + summary", len(lines))
+	}
+	for i, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %d %q: %v", i+1, ln, err)
+		}
+		last := i == len(lines)-1
+		switch ev["event"] {
+		case repro.EventAttempt:
+			if last {
+				t.Fatal("trace not closed by a summary event")
+			}
+			for _, field := range []string{"attempt", "mode", "outcome", "wall_ms", "sketch_consumed"} {
+				if _, ok := ev[field]; !ok {
+					t.Fatalf("attempt event missing %q: %v", field, ev)
+				}
+			}
+		case repro.EventSummary:
+			if !last {
+				t.Fatalf("summary event mid-trace at line %d", i+1)
+			}
+			if ev["reproduced"] != true {
+				t.Fatalf("summary: %v", ev)
+			}
+		default:
+			t.Fatalf("unknown event type in %v", ev)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"repro/internal/appkit"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sketch"
 	"repro/internal/trace"
@@ -35,6 +36,11 @@ type Options struct {
 	MaxSteps uint64
 	// FixBugs runs the programs' patched code paths (see appkit.Env).
 	FixBugs bool
+	// Metrics, when non-nil, receives recording metrics (sketch entries
+	// written, log bytes, modelled overhead — see OBSERVABILITY.md) and
+	// the substrate's scheduler counters. Nil, the default, keeps the
+	// production hot path free of measurement cost.
+	Metrics *obs.Registry
 }
 
 // DefaultPreempt is the production scheduler's timeslice-preemption
@@ -165,12 +171,22 @@ func Record(prog *appkit.Program, opts Options) *Recording {
 		Strategy:  sched.NewRandomMP(opts.processors(), opts.preempt(), opts.ScheduleSeed),
 		Observers: []sched.Observer{rec},
 		MaxSteps:  opts.MaxSteps,
+		Metrics:   opts.Metrics,
 	}, world)
-	return &Recording{
+	out := &Recording{
 		Scheme:  opts.Scheme,
 		Sketch:  rec.Log(),
 		Inputs:  inputs,
 		Options: opts,
 		Result:  res,
 	}
+	if m := opts.Metrics; m != nil {
+		scheme := opts.Scheme.String()
+		m.Counter("pres_record_runs_total", "scheme", scheme).Inc()
+		m.Counter("pres_record_steps_total", "scheme", scheme).Add(res.Steps)
+		m.Counter("pres_record_sketch_entries_total", "scheme", scheme).Add(uint64(out.Sketch.Len()))
+		m.Counter("pres_record_log_bytes_total", "scheme", scheme).Add(uint64(out.LogBytes()))
+		m.Gauge("pres_record_overhead_ratio", "scheme", scheme).Set(res.Overhead())
+	}
+	return out
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/appkit"
+	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -75,8 +77,19 @@ type ReplayOptions struct {
 	// OnAttempt, if set, is called after each attempt (in canonical
 	// order) with its 1-based index, mode ("directed" or "random") and
 	// outcome ("reproduced", "clean", "diverged" or "other") — live
-	// progress for interactive tools.
+	// progress for interactive tools. It is implemented on top of the
+	// same per-attempt events Trace receives.
 	OnAttempt func(i int, mode, outcome string)
+	// Metrics, when non-nil, receives the search's metrics: attempt
+	// counters by mode and outcome, attempt wall-time histograms,
+	// frontier depth, distinct races seen, wave occupancy and the
+	// substrate's scheduler counters (see OBSERVABILITY.md). Nil, the
+	// default, keeps the replay hot path free of measurement cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one structured obs.AttemptEvent per
+	// attempt in canonical order, closed by an obs.SummaryEvent — the
+	// JSONL search trace OBSERVABILITY.md documents.
+	Trace *obs.TraceSink
 }
 
 // DefaultMaxAttempts is the paper's reproduction budget.
@@ -143,11 +156,18 @@ type attemptOutcome struct {
 	// stopped if it never was. The production run died here, so races
 	// near it are the prime flip candidates.
 	horizon uint64
+	// consumed counts the sketch entries the director honored; note is
+	// its divergence note, if any; wall is the attempt's wall-clock
+	// duration. All three feed the attempt trace (see obs.AttemptEvent).
+	consumed int
+	note     string
+	wall     time.Duration
 }
 
 // runAttempt performs one coordinated replay: sketch enforcement plus
 // the given flip set, with the race detector watching for feedback.
 func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions) attemptOutcome {
+	start := time.Now()
 	world := vsys.NewWorld(rec.Options.WorldSeed)
 	world.StartReplay(rec.Inputs)
 
@@ -178,9 +198,10 @@ func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand
 		Strategy:  dir,
 		Observers: []sched.Observer{dir, det, cap},
 		MaxSteps:  maxSteps,
+		Metrics:   opts.Metrics,
 	}, world)
 
-	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep}
+	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote}
 	if out.horizon == 0 {
 		out.horizon = res.Steps
 	}
@@ -194,8 +215,70 @@ func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand
 	case res.Failure.Reason == sched.ReasonDiverged:
 		out.diverged = true
 	}
+	out.wall = time.Since(start)
 	return out
 }
+
+// reportAttempt publishes one finished attempt, in canonical order, on
+// every observability surface: the structured trace sink, the metrics
+// registry, and the legacy OnAttempt callback — one event, rendered
+// three ways.
+func (o ReplayOptions) reportAttempt(idx int, directed bool, fs flipSet, out attemptOutcome) {
+	if o.Trace == nil && o.Metrics == nil && o.OnAttempt == nil {
+		return
+	}
+	mode := "random"
+	if directed {
+		mode = "directed"
+	}
+	outcome := outcomeName(out)
+	o.Trace.Emit(obs.AttemptEvent{
+		Event:          obs.EventAttempt,
+		Attempt:        idx,
+		Mode:           mode,
+		FlipSetID:      fs.id,
+		FlipDepth:      len(fs.flips),
+		Outcome:        outcome,
+		WallMS:         float64(out.wall) / float64(time.Millisecond),
+		SketchConsumed: out.consumed,
+		Divergence:     out.note,
+	})
+	if m := o.Metrics; m != nil {
+		m.Counter("pres_replay_attempts_total", "mode", mode, "outcome", outcome).Inc()
+		m.Histogram("pres_replay_attempt_wall_seconds", obs.DefaultTimeBuckets).Observe(out.wall.Seconds())
+	}
+	if o.OnAttempt != nil {
+		o.OnAttempt(idx, mode, outcome)
+	}
+}
+
+// reportSearch closes the search's observability: a summary trace
+// event and the search-level metrics. Called on every Replay return
+// path.
+func (o ReplayOptions) reportSearch(r *ReplayResult) {
+	o.Trace.Emit(obs.SummaryEvent{
+		Event:       obs.EventSummary,
+		Reproduced:  r.Reproduced,
+		Attempts:    r.Attempts,
+		Flips:       r.Flips,
+		Divergences: r.Stats.Divergences,
+		CleanRuns:   r.Stats.CleanRuns,
+		RacesSeen:   r.Stats.RacesSeen,
+	})
+	if m := o.Metrics; m != nil {
+		result := "exhausted"
+		if r.Reproduced {
+			result = "reproduced"
+		}
+		m.Counter("pres_replay_searches_total", "result", result).Inc()
+		m.Counter("pres_replay_flips_enqueued_total").Add(uint64(r.Stats.FlipsEnqueued))
+		m.Gauge("pres_replay_races_seen").Set(float64(r.Stats.RacesSeen))
+	}
+}
+
+// waveBuckets are the occupancy histogram bounds: parallelism levels
+// worth distinguishing.
+var waveBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // Replay is the intelligent replayer: it searches the unrecorded
 // non-deterministic space left by the sketch until the bug reproduces or
@@ -258,6 +341,9 @@ func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayRes
 		if len(jobs) == 0 {
 			break
 		}
+		if m := opts.Metrics; m != nil {
+			m.Histogram("pres_replay_wave_occupancy", waveBuckets).Observe(float64(len(jobs)))
+		}
 		if len(jobs) == 1 {
 			j := jobs[0]
 			if j.directed {
@@ -286,13 +372,7 @@ func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayRes
 		var succ *job
 		for _, j := range jobs {
 			r.Attempts++
-			if opts.OnAttempt != nil {
-				mode := "random"
-				if j.directed {
-					mode = "directed"
-				}
-				opts.OnAttempt(r.Attempts, mode, outcomeName(j.out))
-			}
+			opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
 			if j.out.bug {
 				succ = j
 				break
@@ -315,6 +395,10 @@ func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayRes
 				r.Stats.FlipsEnqueued += added
 			}
 		}
+		if m := opts.Metrics; m != nil {
+			m.Gauge("pres_replay_frontier_depth").Set(float64(len(frontier)))
+			m.Gauge("pres_replay_frontier_depth_peak").SetMax(float64(len(frontier)))
+		}
 		if succ != nil {
 			r.Reproduced = true
 			r.Failure = succ.out.failure
@@ -323,10 +407,12 @@ func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayRes
 				r.Flips = len(succ.nd.fs.flips)
 				r.RootCauses = succ.nd.fs.pairs()
 			}
+			opts.reportSearch(r)
 			return r
 		}
 	}
 	r.Stats.FrontierDried = len(frontier) == 0
+	opts.reportSearch(r)
 	return r
 }
 
@@ -438,13 +524,12 @@ func replayNoFeedback(prog *appkit.Program, rec *Recording, opts ReplayOptions, 
 		}
 		out := runAttempt(prog, rec, flipSet{}, rng, opts)
 		r.Attempts++
-		if opts.OnAttempt != nil {
-			opts.OnAttempt(r.Attempts, "random", outcomeName(out))
-		}
+		opts.reportAttempt(r.Attempts, false, flipSet{}, out)
 		if out.bug {
 			r.Reproduced = true
 			r.Failure = out.failure
 			r.Order = out.order
+			opts.reportSearch(r)
 			return r
 		}
 		switch {
@@ -460,6 +545,7 @@ func replayNoFeedback(prog *appkit.Program, rec *Recording, opts ReplayOptions, 
 		}
 		r.Stats.RacesSeen = len(racesSeen)
 	}
+	opts.reportSearch(r)
 	return r
 }
 

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sketch"
+)
+
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	// fft-barrier reproduces on the first directed attempt, i.e. inside
+	// the first wave, where the parallel search is attempt-for-attempt
+	// identical to the sequential one — so the whole ReplayResult must
+	// match bit for bit.
+	prog, ok := apps.ProgramForBug("fft-barrier")
+	if !ok {
+		t.Fatal("fft-barrier not in corpus")
+	}
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	seq := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Parallelism: 1})
+	par := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Parallelism: 4})
+	if !seq.Reproduced {
+		t.Fatalf("sequential search failed: %+v", seq.Stats)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel result differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestReplayParallelDeterministic(t *testing.T) {
+	// For a multi-attempt bug the parallel search may legitimately
+	// differ from the sequential one (feedback children enter the
+	// frontier a wave later) — but for a fixed Parallelism the search
+	// must be a pure function of its inputs.
+	prog := atomBugProg(3)
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	opts := ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 4}
+	a := Replay(prog, rec, opts)
+	b := Replay(prog, rec, opts)
+	if !a.Reproduced {
+		t.Fatalf("parallel search failed: attempts=%d stats=%+v", a.Attempts, a.Stats)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different results:\na: %+v\nb: %+v", a, b)
+	}
+}

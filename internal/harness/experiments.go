@@ -25,6 +25,7 @@ type E1Row struct {
 // RunE1 reproduces every corpus bug under each given scheme (the
 // paper's headline table). Pass nil schemes for the full set.
 func RunE1(schemes []sketch.Scheme, cfg Config) []E1Row {
+	defer cfg.timeExperiment("e1")()
 	if schemes == nil {
 		schemes = sketch.All()
 	}
@@ -46,11 +47,7 @@ func runE1Cell(b apps.BugInfo, s sketch.Scheme, cfg Config) E1Row {
 		return row
 	}
 	row.Seed = seed
-	res := core.Replay(prog, rec, core.ReplayOptions{
-		Feedback:    true,
-		MaxAttempts: cfg.maxAttempts(),
-		Oracle:      core.MatchBugID(b.ID),
-	})
+	res := core.Replay(prog, rec, cfg.replayOptions(b.ID))
 	row.Attempts = res.Attempts
 	row.Flips = res.Flips
 	row.Reproduced = res.Reproduced
@@ -79,6 +76,7 @@ type E2Row struct {
 // scheme measures the exact same execution of each app, so the
 // between-scheme ratios are exact.
 func RunE2(schemes []sketch.Scheme, cfg Config) []E2Row {
+	defer cfg.timeExperiment("e2")()
 	if schemes == nil {
 		schemes = sketch.All()
 	}
@@ -117,6 +115,7 @@ type E3Row struct {
 // RunE3 measures log sizes for every app x scheme on the same clean
 // runs as E2.
 func RunE3(schemes []sketch.Scheme, cfg Config) []E3Row {
+	defer cfg.timeExperiment("e3")()
 	if schemes == nil {
 		schemes = sketch.All()
 	}
@@ -161,6 +160,7 @@ var E4Bugs = []string{"mysql-169", "pbzip2-order", "lu-atomicity"}
 // widen the unrecorded interleaving space; the paper's claim is that
 // PRES's attempts stay low while BASE-style approaches blow up.
 func RunE4(procs []int, bugs []string, cfg Config) []E4Row {
+	defer cfg.timeExperiment("e4")()
 	if procs == nil {
 		procs = []int{1, 2, 4, 8, 16}
 	}
@@ -205,6 +205,7 @@ type E5Row struct {
 // the same sketch-constrained space — the paper's "feedback generation
 // is critical" result.
 func RunE5(bugs []string, cfg Config) []E5Row {
+	defer cfg.timeExperiment("e5")()
 	if bugs == nil {
 		for _, b := range apps.AllBugs() {
 			bugs = append(bugs, b.ID)
@@ -220,12 +221,10 @@ func RunE5(bugs []string, cfg Config) []E5Row {
 			rows = append(rows, row)
 			continue
 		}
-		with := core.Replay(prog, rec, core.ReplayOptions{
-			Feedback: true, MaxAttempts: cfg.maxAttempts(), Oracle: core.MatchBugID(bug),
-		})
-		without := core.Replay(prog, rec, core.ReplayOptions{
-			Feedback: false, MaxAttempts: cfg.maxAttempts(), Oracle: core.MatchBugID(bug),
-		})
+		with := core.Replay(prog, rec, cfg.replayOptions(bug))
+		noFB := cfg.replayOptions(bug)
+		noFB.Feedback = false
+		without := core.Replay(prog, rec, noFB)
 		row.WithFeedback, row.WithFeedbackOK = with.Attempts, with.Reproduced
 		row.WithoutFeedback, row.WithoutFeedbackOK = without.Attempts, without.Reproduced
 		rows = append(rows, row)
@@ -246,6 +245,7 @@ type E6Row struct {
 // successful replay, the captured full order reproduces the bug on
 // every one of n re-executions.
 func RunE6(bugs []string, n int, cfg Config) []E6Row {
+	defer cfg.timeExperiment("e6")()
 	if bugs == nil {
 		for _, b := range apps.AllBugs() {
 			bugs = append(bugs, b.ID)
@@ -295,6 +295,7 @@ type E7Row struct {
 // RunE7 derives the paper's "up to 4416x lower overhead" headline from
 // the E2 measurements.
 func RunE7(cfg Config) []E7Row {
+	defer cfg.timeExperiment("e7")()
 	e2 := RunE2([]sketch.Scheme{sketch.SYNC, sketch.SYS, sketch.FUNC, sketch.BB, sketch.RW}, cfg)
 	rw := map[string]float64{}
 	for _, r := range e2 {
@@ -331,6 +332,7 @@ type E8Row struct {
 // RunE8 collects the replayer's search statistics for every bug under
 // SYNC sketching.
 func RunE8(cfg Config) []E8Row {
+	defer cfg.timeExperiment("e8")()
 	var rows []E8Row
 	for _, b := range apps.AllBugs() {
 		row := E8Row{Bug: b.ID}
@@ -366,6 +368,7 @@ var E9Bugs = []string{"mysql-169", "openldap-deadlock", "lu-atomicity", "fft-bar
 
 // RunE9 sweeps the retained sketch fraction for a bug subset under SYNC.
 func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
+	defer cfg.timeExperiment("e9")()
 	if bugs == nil {
 		bugs = E9Bugs
 	}
@@ -383,12 +386,9 @@ func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
 				if pct < 100 {
 					tail = max(1, rec.Sketch.Len()*pct/100)
 				}
-				res := core.Replay(prog, rec, core.ReplayOptions{
-					Feedback:    true,
-					MaxAttempts: cfg.maxAttempts(),
-					SketchTail:  tail,
-					Oracle:      core.MatchBugID(bug),
-				})
+				ropts := cfg.replayOptions(bug)
+				ropts.SketchTail = tail
+				res := core.Replay(prog, rec, ropts)
 				row.Attempts = res.Attempts
 				row.Reproduced = res.Reproduced
 			}
@@ -414,6 +414,7 @@ type E10Row struct {
 // counts down to a loaded uniprocessor (preemption strands a thread
 // mid-window, which is how these windows are hit in the wild).
 func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
+	defer cfg.timeExperiment("e10")()
 	if schemes == nil {
 		schemes = []sketch.Scheme{sketch.SYNC, sketch.RW}
 	}
@@ -433,6 +434,7 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 						ScheduleSeed: seed,
 						WorldSeed:    cfg.worldSeed(),
 						MaxSteps:     cfg.maxSteps(),
+						Metrics:      cfg.Metrics,
 					})
 					if f := r.BugFailure(); f != nil && oracle(f) {
 						rec = r
@@ -447,11 +449,7 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 				rows = append(rows, row)
 				continue
 			}
-			res := core.Replay(prog, rec, core.ReplayOptions{
-				Feedback:    true,
-				MaxAttempts: cfg.maxAttempts(),
-				Oracle:      oracle,
-			})
+			res := core.Replay(prog, rec, cfg.replayOptions(p.BugID))
 			row.Attempts = res.Attempts
 			row.Reproduced = res.Reproduced
 			rows = append(rows, row)

@@ -3,6 +3,15 @@
 // overhead and log sizes for every sketching mechanism, counts replay
 // attempts to reproduction, and renders the tables and figures of
 // EXPERIMENTS.md (experiments E1-E10 in DESIGN.md).
+//
+// When Config.Metrics is set, every recording and replay the harness
+// performs feeds the shared registry, and each experiment stamps its
+// own wall time into harness_experiment_seconds{exp=...} — so a full
+// presbench run yields one aggregate metric snapshot alongside its
+// tables (rendered by PrintMetrics, written by presbench
+// -metrics-out). Config.Trace likewise captures every replay attempt
+// across all experiments as one JSONL stream. See OBSERVABILITY.md for
+// the contract.
 package harness
 
 import (
@@ -11,6 +20,7 @@ import (
 	"repro/internal/appkit"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -34,6 +44,13 @@ type Config struct {
 	// experiments (E2/E3/E7), which run the *patched* programs on long
 	// production-like workloads. Default 800.
 	OverheadScale int
+	// Metrics, when non-nil, receives metrics from every recording and
+	// replay the harness performs, plus per-experiment wall-time spans.
+	// Nil disables collection at zero cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives every replay attempt's structured
+	// event across all experiments.
+	Trace *obs.TraceSink
 }
 
 func (c Config) processors() int {
@@ -97,7 +114,33 @@ func (c Config) options(scheme sketch.Scheme, scheduleSeed int64) core.Options {
 		WorldSeed:    c.worldSeed(),
 		Scale:        c.Scale,
 		MaxSteps:     c.maxSteps(),
+		Metrics:      c.Metrics,
 	}
+}
+
+// replayOptions builds the standard feedback-replay options for one
+// bug's search, wired to the harness's observability sinks.
+func (c Config) replayOptions(bugID string) core.ReplayOptions {
+	return core.ReplayOptions{
+		Feedback:    true,
+		MaxAttempts: c.maxAttempts(),
+		Oracle:      core.MatchBugID(bugID),
+		Metrics:     c.Metrics,
+		Trace:       c.Trace,
+	}
+}
+
+// timeExperiment opens an experiment-scoped span: it counts the run in
+// harness_experiments_total{exp} and times it into
+// harness_experiment_seconds{exp}. Use as
+// `defer cfg.timeExperiment("e1")()`.
+func (c Config) timeExperiment(exp string) func() {
+	if c.Metrics == nil {
+		return func() {}
+	}
+	c.Metrics.Counter("harness_experiments_total", "exp", exp).Inc()
+	sp := c.Metrics.Timer("harness_experiment_seconds", "exp", exp).Start()
+	return func() { sp.Stop() }
 }
 
 // FindBuggySeed searches production schedule seeds until prog manifests
@@ -138,10 +181,6 @@ func ReproduceBug(bugID string, scheme sketch.Scheme, cfg Config) (*core.Recordi
 	if err != nil {
 		return nil, nil, err
 	}
-	res := core.Replay(prog, rec, core.ReplayOptions{
-		Feedback:    true,
-		MaxAttempts: cfg.maxAttempts(),
-		Oracle:      core.MatchBugID(bugID),
-	})
+	res := core.Replay(prog, rec, cfg.replayOptions(bugID))
 	return rec, res, nil
 }

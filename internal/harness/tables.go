@@ -3,8 +3,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -258,4 +260,39 @@ func PrintE10(w io.Writer, rows []E10Row, cfg Config) {
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Pattern, r.Class, r.Scheme, att)
 	}
+}
+
+// PrintMetrics renders a metric snapshot as a table — the aggregate
+// observability view presbench appends after its experiment tables
+// when metrics capture is enabled. Histograms are summarized as
+// count/sum/mean; the full bucket data is in the JSON snapshot.
+func PrintMetrics(w io.Writer, snap obs.Snapshot) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "metric\ttype\tvalue")
+	for _, k := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(tw, "%s\tcounter\t%d\n", k, snap.Counters[k])
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(tw, "%s\tgauge\t%g\n", k, snap.Gauges[k])
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Fprintf(tw, "%s\thistogram\tcount=%d sum=%g mean=%g\n", k, h.Count, h.Sum, mean)
+	}
+}
+
+// sortedKeys returns the map's keys in ascending order, for the
+// deterministic rendering every harness table guarantees.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

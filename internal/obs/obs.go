@@ -1,0 +1,372 @@
+// Package obs is the observability layer for the PRES record/replay
+// stack: a small, dependency-free metrics registry (counters, gauges,
+// histograms with fixed bucket boundaries, span-style timers) plus a
+// structured JSONL trace sink for replay-attempt events.
+//
+// The package is built around two invariants the rest of the system
+// relies on:
+//
+//  1. Disabled means free. A nil *Registry (the default everywhere) is
+//     fully usable: every method on it, and on the nil instruments it
+//     returns, is a no-op behind a single nil check. Hot paths hold
+//     pre-resolved instrument pointers and never pay a map lookup, an
+//     allocation or a time syscall when observability is off.
+//
+//  2. Deterministic output. Snapshots and the Prometheus text rendering
+//     sort metrics by their canonical identity (name plus sorted label
+//     pairs), so two identical runs serialize byte-identically — which
+//     is what makes metric and trace files diffable debugging artifacts
+//     (see OBSERVABILITY.md).
+//
+// Instruments are identified by a base name plus optional label
+// key/value pairs ("mode", "directed", ...). Looking the same identity
+// up twice returns the same instrument, so concurrent producers (e.g.
+// parallel replay attempts) share one atomic value. All instrument
+// updates are lock-free and safe for concurrent use.
+//
+// The metric and trace-event contract — every name, type, label and
+// semantic carried by this package's producers — is documented in
+// OBSERVABILITY.md at the repository root.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a registered metric.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. The zero value is ready to use; a nil
+// *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value —
+// high-water-mark tracking (e.g. peak frontier depth).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (and > bounds[i-1]); observations
+// above the last bound land in an implicit overflow (+Inf) bucket.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: its le-bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Timer records durations into a histogram of seconds. Obtain one from
+// Registry.Timer; a nil *Timer starts no-op spans (and never calls
+// time.Now, keeping the disabled path syscall-free).
+type Timer struct {
+	h *Histogram
+}
+
+// Span is one in-flight timed section.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins a span.
+func (t *Timer) Start() Span {
+	if t == nil || t.h == nil {
+		return Span{}
+	}
+	return Span{h: t.h, start: time.Now()}
+}
+
+// Stop ends the span, recording its duration, and returns it.
+func (s Span) Stop() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// DefaultTimeBuckets are the bucket bounds Registry.Timer uses, in
+// seconds: 100µs up to 10s in a coarse exponential ladder.
+var DefaultTimeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	kind   Kind
+	name   string   // base name
+	labels []string // canonical (sorted) k, v, k, v, ...
+	key    string   // rendered identity: name or name{k="v",...}
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metrics by identity. Create with NewRegistry; a nil
+// *Registry is the disabled default — it hands out nil instruments,
+// whose every method is a no-op.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*metric
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Counter returns the counter for name and label pairs, creating it on
+// first use. Labels are alternating key, value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(KindCounter, name, nil, labels).c
+}
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(KindGauge, name, nil, labels).g
+}
+
+// Histogram returns the histogram for name and label pairs. bounds are
+// ascending bucket upper bounds; they are fixed by the first
+// registration of the identity and ignored afterwards.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(KindHistogram, name, bounds, labels).h
+}
+
+// Timer returns a span timer recording into a histogram of seconds
+// with DefaultTimeBuckets. By convention name ends in "_seconds".
+func (r *Registry) Timer(name string, labels ...string) *Timer {
+	if r == nil {
+		return nil
+	}
+	return &Timer{h: r.Histogram(name, DefaultTimeBuckets, labels...)}
+}
+
+func (r *Registry) lookup(kind Kind, name string, bounds []float64, labels []string) *metric {
+	canon := canonLabels(labels)
+	key := renderKey(name, canon)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{kind: kind, name: name, labels: canon, key: key}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		if len(bounds) == 0 {
+			bounds = DefaultTimeBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bucket bounds not ascending", key))
+		}
+		m.h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	r.byKey[key] = m
+	return m
+}
+
+// canonLabels sorts label pairs by key for a stable identity. An odd
+// trailing label is dropped (programmer error, but never corrupts the
+// registry).
+func canonLabels(labels []string) []string {
+	n := len(labels) / 2 * 2
+	if n == 0 {
+		return nil
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	out := make([]string, 0, n)
+	for _, p := range pairs {
+		out = append(out, p.k, p.v)
+	}
+	return out
+}
+
+// renderKey builds the canonical identity string, which doubles as the
+// Prometheus series name.
+func renderKey(name string, canon []string) string {
+	if len(canon) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(canon); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q quotes and escapes the value, which keeps the identity a
+		// valid Prometheus series name even for hostile label values.
+		fmt.Fprintf(&b, "%s=%q", canon[i], canon[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sorted returns the registered metrics ordered by identity — the
+// deterministic iteration order every serialization uses.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.byKey))
+	for _, m := range r.byKey {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}

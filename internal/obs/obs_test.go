@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsFullyUsable(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(3.5)
+	r.Gauge("g").Add(1)
+	r.Gauge("g").SetMax(9)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	r.Timer("t_seconds").Start().Stop()
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %v", got)
+	}
+	if snap := r.Snapshot(); !reflect.DeepEqual(snap, Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil prometheus output: err=%v len=%d", err, buf.Len())
+	}
+	var s *TraceSink
+	s.Emit(AttemptEvent{})
+	if s.Events() != 0 || s.Err() != nil {
+		t.Fatal("nil sink not inert")
+	}
+}
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pres_test_total", "mode", "directed")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if same := r.Counter("pres_test_total", "mode", "directed"); same != c {
+		t.Fatal("same identity returned a different counter")
+	}
+	if other := r.Counter("pres_test_total", "mode", "random"); other == c {
+		t.Fatal("different labels shared an instrument")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	g.SetMax(1) // below current: no-op
+	if g.Value() != 2.5 {
+		t.Fatalf("SetMax lowered the gauge to %v", g.Value())
+	}
+	g.SetMax(10)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax = %v, want 10", g.Value())
+	}
+
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	want := []Bucket{{LE: 1, Count: 2}, {LE: 10, Count: 1}, {LE: 100, Count: 1}}
+	if !reflect.DeepEqual(snap.Buckets, want) || snap.Overflow != 1 {
+		t.Fatalf("buckets = %+v overflow=%d", snap.Buckets, snap.Overflow)
+	}
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "x", "1", "a", "2")
+	b := r.Counter("m", "a", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order changed metric identity")
+	}
+	snap := r.Snapshot()
+	if _, ok := snap.Counters[`m{a="2",x="1"}`]; !ok {
+		t.Fatalf("canonical key missing; got %v", snap.Counters)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestConcurrentUpdates hammers shared instruments from many
+// goroutines; run under -race this is the package's thread-safety
+// proof, and the final values prove no update was lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve through the registry on every iteration for some
+			// workers to also race the lookup path.
+			for i := 0; i < each; i++ {
+				if w%2 == 0 {
+					r.Counter("hits").Inc()
+					r.Histogram("h", []float64{0.5}).Observe(1)
+					r.Gauge("g").Add(1)
+				} else {
+					c := r.Counter("hits")
+					c.Inc()
+					r.Histogram("h", []float64{0.5}).Observe(0.25)
+					r.Gauge("peak").SetMax(float64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*each {
+		t.Fatalf("lost counter updates: %d != %d", got, workers*each)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*each {
+		t.Fatalf("lost observations: %d != %d", got, workers*each)
+	}
+	if got := r.Gauge("g").Value(); got != workers/2*each {
+		t.Fatalf("lost gauge adds: %v", got)
+	}
+	if got := r.Gauge("peak").Value(); got != each-1 {
+		t.Fatalf("peak = %v, want %d", got, each-1)
+	}
+}
+
+// TestSnapshotStability: a quiesced registry snapshots identically
+// twice, and identical registries serialize byte-identically — the
+// property that makes metric files diffable.
+func TestSnapshotStability(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("a_total", "k", "v").Add(3)
+		r.Counter("b_total").Add(1)
+		r.Gauge("g").Set(2.5)
+		r.Histogram("h", []float64{1, 2}).Observe(1.5)
+		return r
+	}
+	r := build()
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same registry snapshotted differently")
+	}
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(build().Snapshot())
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("identical registries serialized differently:\n%s\n%s", j1, j2)
+	}
+	var p1, p2 bytes.Buffer
+	if err := r.WritePrometheus(&p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatal("identical registries rendered different Prometheus text")
+	}
+}
+
+// TestPrometheusGolden pins the exposition format byte for byte.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pres_replay_attempts_total", "mode", "directed", "outcome", "clean").Add(4)
+	r.Counter("pres_replay_attempts_total", "mode", "random", "outcome", "reproduced").Inc()
+	r.Gauge("pres_replay_frontier_depth").Set(7)
+	h := r.Histogram("wave", []float64{1, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE pres_replay_attempts_total counter`,
+		`pres_replay_attempts_total{mode="directed",outcome="clean"} 4`,
+		`pres_replay_attempts_total{mode="random",outcome="reproduced"} 1`,
+		`# TYPE pres_replay_frontier_depth gauge`,
+		`pres_replay_frontier_depth 7`,
+		`# TYPE wave histogram`,
+		`wave_bucket{le="1"} 1`,
+		`wave_bucket{le="4"} 2`,
+		`wave_bucket{le="+Inf"} 3`,
+		`wave_sum 13`,
+		`wave_count 3`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus output:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteSnapshotFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	var j bytes.Buffer
+	if err := WriteSnapshot(&j, r, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(j.Bytes(), &decoded); err != nil {
+		t.Fatalf("json output does not round-trip: %v", err)
+	}
+	if decoded.Counters["c"] != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	var p bytes.Buffer
+	if err := WriteSnapshot(&p, r, "prom"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "# TYPE c counter") {
+		t.Fatalf("prom output:\n%s", p.String())
+	}
+	if err := WriteSnapshot(&p, r, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTraceSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Emit(AttemptEvent{Event: EventAttempt, Attempt: i + 1, Mode: "random", Outcome: "clean"})
+		}(i)
+	}
+	wg.Wait()
+	s.Emit(SummaryEvent{Event: EventSummary, Attempts: 4})
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 || s.Events() != 5 {
+		t.Fatalf("got %d lines, %d events", len(lines), s.Events())
+	}
+	seen := map[string]int{}
+	for _, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		seen[ev["event"].(string)]++
+	}
+	if seen[EventAttempt] != 4 || seen[EventSummary] != 1 {
+		t.Fatalf("event mix = %v", seen)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errShort = &json.UnsupportedValueError{Str: "disk full"}
+
+func TestTraceSinkStickyError(t *testing.T) {
+	s := NewTraceSink(&failWriter{n: 1})
+	s.Emit(AttemptEvent{Event: EventAttempt, Attempt: 1})
+	s.Emit(AttemptEvent{Event: EventAttempt, Attempt: 2})
+	s.Emit(AttemptEvent{Event: EventAttempt, Attempt: 3})
+	if s.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if s.Events() != 1 {
+		t.Fatalf("events = %d, want 1", s.Events())
+	}
+}

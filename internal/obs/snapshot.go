@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations at or below LE (and above the previous bound).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets
+// hold per-bucket (not cumulative) counts for the finite bounds;
+// Overflow counts observations above the last bound.
+type HistogramSnapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      float64  `json:"sum"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow uint64   `json:"overflow,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, keyed by canonical
+// metric identity (name plus sorted labels). It marshals to stable
+// JSON: encoding/json sorts map keys, so identical registries
+// serialize byte-identically.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields
+// the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case KindCounter:
+			if s.Counters == nil {
+				s.Counters = map[string]uint64{}
+			}
+			s.Counters[m.key] = m.c.Value()
+		case KindGauge:
+			if s.Gauges == nil {
+				s.Gauges = map[string]float64{}
+			}
+			s.Gauges[m.key] = m.g.Value()
+		case KindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistogramSnapshot{}
+			}
+			hs := HistogramSnapshot{Count: m.h.Count(), Sum: m.h.Sum()}
+			for i, b := range m.h.bounds {
+				hs.Buckets = append(hs.Buckets, Bucket{LE: b, Count: m.h.counts[i].Load()})
+			}
+			hs.Overflow = m.h.counts[len(m.h.bounds)].Load()
+			s.Histograms[m.key] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry's snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE header per metric
+// name, series sorted by identity, histograms expanded into
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range r.sorted() {
+		if m.name != lastName {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+			lastName = m.name
+		}
+		switch m.kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.key, m.c.Value())
+		case KindGauge:
+			fmt.Fprintf(bw, "%s %v\n", m.key, m.g.Value())
+		case KindHistogram:
+			cum := uint64(0)
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(bw, "%s %d\n", seriesWith(m.name, m.labels, "le", fmt.Sprintf("%v", b), "_bucket"), cum)
+			}
+			cum += m.h.counts[len(m.h.bounds)].Load()
+			fmt.Fprintf(bw, "%s %d\n", seriesWith(m.name, m.labels, "le", "+Inf", "_bucket"), cum)
+			fmt.Fprintf(bw, "%s %v\n", renderKey(m.name+"_sum", m.labels), m.h.Sum())
+			fmt.Fprintf(bw, "%s %d\n", renderKey(m.name+"_count", m.labels), m.h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesWith renders name+suffix with the metric's labels plus one
+// extra pair appended (the histogram "le" bound).
+func seriesWith(name string, labels []string, k, v, suffix string) string {
+	all := append(append([]string(nil), labels...), k, v)
+	return renderKey(name+suffix, all)
+}
+
+// WriteSnapshot serializes the registry in the requested format:
+// "json" (the default for empty format) or "prom"/"prometheus" text
+// exposition.
+func WriteSnapshot(w io.Writer, r *Registry, format string) error {
+	switch format {
+	case "", "json":
+		return r.WriteJSON(w)
+	case "prom", "prometheus":
+		return r.WritePrometheus(w)
+	default:
+		return fmt.Errorf("obs: unknown metrics format %q (want json or prom)", format)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"slices"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	// MaxSteps bounds the execution; exceeding it fails the run with
 	// ReasonStepLimit. 0 means DefaultMaxSteps.
 	MaxSteps uint64
+	// Metrics, when non-nil, receives the substrate's counters:
+	// sched_steps_total, sched_picks_total and sched_threads_total
+	// (see OBSERVABILITY.md). The instruments are resolved once at Run,
+	// so the per-event cost is one atomic add; nil (the default) keeps
+	// the hot path free of any measurement cost.
+	Metrics *obs.Registry
 }
 
 // DefaultMaxSteps bounds runs whose Config leaves MaxSteps zero.
@@ -140,6 +147,12 @@ type Scheduler struct {
 	failure  *Failure
 	res      Result
 	sleepReq bool // set by EffectCtx.Sleep during the current grant
+
+	// Pre-resolved metric instruments (nil when Config.Metrics is nil;
+	// their methods are then single-nil-check no-ops).
+	mSteps   *obs.Counter
+	mPicks   *obs.Counter
+	mThreads *obs.Counter
 }
 
 // Run executes root as thread 0 under cfg and returns the result. It
@@ -157,6 +170,11 @@ func Run(root func(*Thread), cfg Config) *Result {
 		announce: make(chan announcement),
 		stopC:    make(chan struct{}),
 		threads:  make(map[trace.TID]*Thread),
+	}
+	if cfg.Metrics != nil {
+		s.mSteps = cfg.Metrics.Counter("sched_steps_total")
+		s.mPicks = cfg.Metrics.Counter("sched_picks_total")
+		s.mThreads = cfg.Metrics.Counter("sched_threads_total")
 	}
 	t0 := s.addThread("main", trace.NoTID)
 	s.inflight = 1
@@ -181,6 +199,7 @@ func (s *Scheduler) addThread(name string, parent trace.TID) *Thread {
 	s.order = append(s.order, t.id)
 	s.live++
 	s.res.Threads++
+	s.mThreads.Inc()
 	return t
 }
 
@@ -246,6 +265,7 @@ func (s *Scheduler) loop() {
 			return
 		}
 		tid, ok := s.cfg.Strategy.Pick(view)
+		s.mPicks.Inc()
 		if !ok {
 			s.failure = &Failure{Reason: ReasonDiverged, Step: s.step,
 				Msg: "strategy aborted: recorded schedule can no longer be honored"}
@@ -287,6 +307,7 @@ func (s *Scheduler) grantTo(t *Thread) {
 	t.pending = nil
 	t.state = stateRunning
 	s.step++
+	s.mSteps.Inc()
 	t.tcount++
 	ev := trace.Event{
 		Seq:    s.step,

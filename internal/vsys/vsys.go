@@ -7,7 +7,9 @@
 // a trace.InputLog during recording and served back from it during
 // replay, under every scheme including BASE: PRES always records inputs
 // because they are cheap; only *interleaving* non-determinism is what
-// the sketch schemes trade off.
+// the sketch schemes trade off. The serialized input log's size is part
+// of the recording's log-byte accounting (pres_record_log_bytes_total
+// in OBSERVABILITY.md).
 package vsys
 
 import (

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"io"
 	"testing"
 
 	"repro"
@@ -26,6 +27,75 @@ func BenchmarkSchedulingPoint(b *testing.B) {
 	if res.Failure != nil {
 		b.Fatal(res.Failure)
 	}
+}
+
+// BenchmarkSchedulingPointMetricsOff is the observability acceptance
+// benchmark's baseline: identical to BenchmarkSchedulingPoint but named
+// for side-by-side comparison with the MetricsOn variant. The disabled
+// path (nil registry) must stay within noise of never having had
+// instrumentation — compare with:
+//
+//	go test -bench 'SchedulingPointMetrics' -benchtime 2s -count 5 .
+func BenchmarkSchedulingPointMetricsOff(b *testing.B) {
+	benchSchedulingPoint(b, nil)
+}
+
+// BenchmarkSchedulingPointMetricsOn measures the same loop with a live
+// registry: the per-event cost is one pre-resolved atomic add.
+func BenchmarkSchedulingPointMetricsOn(b *testing.B) {
+	benchSchedulingPoint(b, repro.NewMetricsRegistry())
+}
+
+func benchSchedulingPoint(b *testing.B, reg *repro.MetricsRegistry) {
+	res := sched.Run(func(th *sched.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Yield()
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: uint64(b.N) + 10, Metrics: reg})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkReplaySearchMetricsOff / On measure a full replay search of a
+// corpus bug with observability disabled vs fully enabled (registry and
+// trace sink) — the end-to-end version of the SchedulingPointMetrics
+// pair.
+func BenchmarkReplaySearchMetricsOff(b *testing.B) {
+	benchReplaySearch(b, false)
+}
+
+func BenchmarkReplaySearchMetricsOn(b *testing.B) {
+	benchReplaySearch(b, true)
+}
+
+func benchReplaySearch(b *testing.B, instrument bool) {
+	prog, _ := repro.ProgramForBug("fft-barrier")
+	oracle := repro.MatchBugID("fft-barrier")
+	rec := recordBugBench(b, prog, oracle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := repro.ReplayOptions{Feedback: true, Oracle: oracle}
+		if instrument {
+			opts.Metrics = repro.NewMetricsRegistry()
+			opts.Trace = repro.NewTraceSink(io.Discard)
+		}
+		if !repro.Replay(prog, rec, opts).Reproduced {
+			b.Fatal("lost the bug")
+		}
+	}
+}
+
+func recordBugBench(b *testing.B, prog *repro.Program, oracle repro.Oracle) *repro.Recording {
+	b.Helper()
+	for seed := int64(0); seed < 3000; seed++ {
+		r := repro.Record(prog, repro.Options{Scheme: repro.SYNC, Processors: 4, ScheduleSeed: seed, WorldSeed: 1})
+		if f := r.BugFailure(); f != nil && oracle(f) {
+			return r
+		}
+	}
+	b.Fatal("no buggy seed")
+	return nil
 }
 
 // BenchmarkMutexRoundTrip measures a lock/unlock pair under the

@@ -44,6 +44,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/race"
 	"repro/internal/sched"
@@ -212,6 +213,46 @@ func ExploreProgram(prog *Program, opts Options, eopts ExploreOptions) *ExploreR
 		})
 	}, eopts)
 }
+
+// Observability: the metric/trace contract is documented in
+// OBSERVABILITY.md. Set Options.Metrics / ReplayOptions.Metrics to a
+// registry (and ReplayOptions.Trace to a sink) to instrument recording
+// and replay; leave them nil — the default — for a measurement-free
+// hot path.
+type (
+	// MetricsRegistry collects counters, gauges and histograms from
+	// recording, replay and the scheduling substrate. A nil registry
+	// disables collection at zero cost.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time, JSON-marshalable copy of a
+	// registry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceSink writes structured JSONL replay-search events.
+	TraceSink = obs.TraceSink
+	// AttemptEvent is one replay attempt's structured trace record.
+	AttemptEvent = obs.AttemptEvent
+	// RecordEvent is one production run's structured trace record.
+	RecordEvent = obs.RecordEvent
+	// SearchSummaryEvent closes one replay search's trace.
+	SearchSummaryEvent = obs.SummaryEvent
+)
+
+// Trace event type tags (the "event" field of every JSONL trace line).
+const (
+	EventAttempt = obs.EventAttempt
+	EventRecord  = obs.EventRecord
+	EventSummary = obs.EventSummary
+)
+
+var (
+	// NewMetricsRegistry returns an empty, enabled metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewTraceSink returns a JSONL trace sink writing to an io.Writer.
+	NewTraceSink = obs.NewTraceSink
+	// WriteMetrics serializes a registry snapshot as "json" (default)
+	// or "prom" (Prometheus text exposition format).
+	WriteMetrics = obs.WriteSnapshot
+)
 
 // The evaluation corpus: the paper's 11 applications and 13 bugs.
 type BugInfo = apps.BugInfo
