@@ -2,11 +2,13 @@
 # invocations CI and contributors run by hand.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test bench stress fuzz-short
 
-## check: the full gate — build everything, vet, test under -race.
-check: build vet
+## check: the full gate — build everything, vet, test under -race,
+## stress the search engine, and give every fuzz target a short budget.
+check: build vet stress fuzz-short
 	$(GO) test -race ./...
 
 build:
@@ -17,6 +19,21 @@ vet:
 
 test:
 	$(GO) test ./...
+
+## stress: the work-stealing search's concurrency gate — the core
+## package twice under -race, so the dedup/commit/cache paths get
+## different goroutine schedules on each pass.
+stress:
+	$(GO) test -race -count=2 ./internal/core/...
+
+## fuzz-short: run every native fuzz target in internal/trace for
+## FUZZTIME each (the canonical-key collision-freedom targets plus the
+## decoder robustness targets), seeded from testdata/fuzz corpora.
+fuzz-short:
+	@set -e; for t in $$($(GO) test -list 'Fuzz.*' ./internal/trace | grep '^Fuzz'); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run NONE -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/trace; \
+	done
 
 ## bench: substrate micro-benchmarks, including the observability
 ## overhead pairs (SchedulingPointMetricsOff/On, ReplaySearchMetricsOff/On)

@@ -1,5 +1,5 @@
 // Presbench regenerates every table and figure of the paper's
-// evaluation (experiments E1-E10 in DESIGN.md; paper-vs-measured is
+// evaluation (experiments E1-E11 in DESIGN.md; paper-vs-measured is
 // recorded in EXPERIMENTS.md).
 //
 // Usage:
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sketch"
@@ -27,13 +28,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presbench: ")
 
-	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
 	schemeList := flag.String("schemes", "", "comma-separated scheme subset (default: all)")
 	procs := flag.Int("procs", 4, "modelled processor count")
 	budget := flag.Int("max-attempts", 1000, "replay attempt budget")
 	seedBudget := flag.Int("seed-budget", 2000, "production seeds to search per bug")
 	overheadScale := flag.Int("overhead-scale", 800, "workload scale for overhead/log-size runs")
 	replays := flag.Int("e6-replays", 100, "re-replays per bug in E6")
+	workers := flag.Int("workers", 0, "work-stealing attempt workers per replay search (0 = sequential)")
+	adaptive := flag.Bool("adaptive", false, "let each search's worker pool retune itself from occupancy")
+	cacheSize := flag.Int("search-cache", 0, "shared schedule-cache capacity in attempts (0 disables, -1 = default size)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	metricsOut := flag.String("metrics-out", "", "write an aggregate metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -45,10 +49,19 @@ func main() {
 	}
 
 	cfg := harness.Config{
-		Processors:    *procs,
-		MaxAttempts:   *budget,
-		SeedBudget:    *seedBudget,
-		OverheadScale: *overheadScale,
+		Processors:      *procs,
+		MaxAttempts:     *budget,
+		SeedBudget:      *seedBudget,
+		OverheadScale:   *overheadScale,
+		Workers:         *workers,
+		AdaptiveWorkers: *adaptive,
+	}
+	if *cacheSize != 0 {
+		size := *cacheSize
+		if size < 0 {
+			size = 0 // core.NewSearchCache's default capacity
+		}
+		cfg.SearchCache = core.NewSearchCache(size)
 	}
 	var reg *obs.Registry
 	if *metricsOut != "" {
@@ -157,6 +170,13 @@ func main() {
 		rows := harness.RunE10(schemes, cfg)
 		if !*asJSON {
 			harness.PrintE10(os.Stdout, rows, cfg)
+		}
+		return rows
+	})
+	run("e11", "work-stealing search scaling and schedule-cache reuse (extension)", func() any {
+		rows := harness.RunE11(nil, nil, cfg)
+		if !*asJSON {
+			harness.PrintE11(os.Stdout, rows, cfg)
 		}
 		return rows
 	})

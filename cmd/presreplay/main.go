@@ -30,7 +30,10 @@ func main() {
 	noFeedback := flag.Bool("no-feedback", false, "disable feedback (random exploration ablation)")
 	verify := flag.Int("verify", 3, "re-replays of the captured order after success")
 	simplify := flag.Bool("simplify", true, "minimize context switches in the captured schedule")
-	parallel := flag.Int("parallel", 1, "replay attempts to run concurrently")
+	parallel := flag.Int("parallel", 1, "legacy alias for -workers")
+	workers := flag.Int("workers", 0, "work-stealing attempt workers (1 = exact sequential search; 0 = -parallel)")
+	adaptive := flag.Bool("adaptive", false, "let the worker pool retune itself from measured occupancy")
+	cacheSize := flag.Int("search-cache", 0, "schedule-cache capacity in attempts (0 disables, -1 = default size)")
 	verbose := flag.Bool("v", false, "print each replay attempt as it completes")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -72,10 +75,21 @@ func main() {
 		oracle = repro.MatchBugID(*bugID)
 	}
 	ropts := repro.ReplayOptions{
-		Feedback:    !*noFeedback,
-		MaxAttempts: *maxAttempts,
-		Oracle:      oracle,
-		Parallelism: *parallel,
+		Feedback:        !*noFeedback,
+		MaxAttempts:     *maxAttempts,
+		Oracle:          oracle,
+		Workers:         *workers,
+		Parallelism:     *parallel,
+		AdaptiveWorkers: *adaptive,
+	}
+	var cache *repro.SearchCache
+	if *cacheSize != 0 {
+		size := *cacheSize
+		if size < 0 {
+			size = 0 // NewSearchCache's default capacity
+		}
+		cache = repro.NewSearchCache(size)
+		ropts.Cache = cache
 	}
 	if *verbose {
 		ropts.OnAttempt = func(i int, mode, outcome string) {
@@ -102,6 +116,10 @@ func main() {
 		ropts.Trace = repro.NewTraceSink(tf)
 	}
 	flush := func() {
+		if cache != nil {
+			hits, misses := cache.Stats()
+			fmt.Printf("schedule cache: %d hits, %d misses, %d entries\n", hits, misses, cache.Len())
+		}
 		if ropts.Trace != nil {
 			if err := ropts.Trace.Err(); err != nil {
 				log.Printf("trace: %v", err)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/race"
 	"repro/internal/sched"
@@ -117,11 +118,17 @@ type director struct {
 }
 
 func newDirector(scheme sketch.Scheme, entries []trace.SketchEntry, fs flipSet, rng *rand.Rand) *director {
+	// Enforce flips in canonical (key) order, not discovery order: the
+	// only order-sensitive operation is releaseOneFlip's first-match
+	// scan, and sorting makes the attempt a function of the flip *set* —
+	// the same identity the dedup set and the schedule cache key on.
+	flips := append([]flip(nil), fs.flips...)
+	sort.Slice(flips, func(i, j int) bool { return flips[i].key() < flips[j].key() })
 	return &director{
 		scheme:   scheme,
 		entries:  entries,
-		flips:    fs.flips,
-		flipDone: make([]bool, len(fs.flips)),
+		flips:    flips,
+		flipDone: make([]bool, len(flips)),
 		executed: make(map[trace.TID]uint64),
 		rng:      rng,
 	}

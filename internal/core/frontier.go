@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardedFrontier is the directed search's work queue: a priority
+// frontier of replayNodes ordered by (flip depth, push sequence),
+// spread over independently-locked shards so attempt workers can push
+// and steal without funneling through one lock.
+//
+// The (depth, seq) order preserves the search's breadth-first shape —
+// all single flips before any pair, and within a level the ranking
+// appendChildren pushed in — while letting children enter the moment
+// their parent commits, with no wave barrier. With one shard (the
+// workers=1 configuration) pops are exactly the sequential engine's
+// FIFO: on a search tree, insertion order never decreases in depth, so
+// the (depth, seq) minimum is the oldest node.
+//
+// With several shards, priority is exact within a shard and best-effort
+// across them: Pop scans every shard's current minimum and takes the
+// best, but a concurrent push may land a better node a moment later.
+// That slack only ever reorders same-priority-class work between
+// workers; it never loses a node.
+type shardedFrontier struct {
+	shards  []frontierShard
+	size    atomic.Int64
+	pushSeq atomic.Uint64
+}
+
+type frontierShard struct {
+	mu sync.Mutex
+	h  []frontierItem // binary min-heap by less()
+}
+
+type frontierItem struct {
+	nd    replayNode
+	depth int
+	seq   uint64
+}
+
+func (a frontierItem) less(b frontierItem) bool {
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	return a.seq < b.seq
+}
+
+// newShardedFrontier sizes the frontier for the given worker count.
+func newShardedFrontier(workers int) *shardedFrontier {
+	n := workers
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return &shardedFrontier{shards: make([]frontierShard, n)}
+}
+
+// Push adds a node; the push sequence both breaks depth ties (FIFO
+// within a level) and round-robins nodes across shards.
+func (f *shardedFrontier) Push(nd replayNode) {
+	seq := f.pushSeq.Add(1)
+	it := frontierItem{nd: nd, depth: len(nd.fs.flips), seq: seq}
+	s := &f.shards[seq%uint64(len(f.shards))]
+	s.mu.Lock()
+	s.h = append(s.h, it)
+	siftUp(s.h, len(s.h)-1)
+	s.mu.Unlock()
+	f.size.Add(1)
+}
+
+// Pop removes and returns the best node, scanning shards starting at
+// the worker's home shard (so uncontended workers tend to reuse their
+// own shard and steal only when it runs dry). ok=false means the
+// frontier is empty.
+func (f *shardedFrontier) Pop(home int) (replayNode, bool) {
+	n := len(f.shards)
+	for f.size.Load() > 0 {
+		best := -1
+		var bestItem frontierItem
+		for i := 0; i < n; i++ {
+			s := &f.shards[(home+i)%n]
+			s.mu.Lock()
+			if len(s.h) > 0 && (best < 0 || s.h[0].less(bestItem)) {
+				best = (home + i) % n
+				bestItem = s.h[0]
+			}
+			s.mu.Unlock()
+		}
+		if best < 0 {
+			break // raced with concurrent pops; size check re-verifies
+		}
+		s := &f.shards[best]
+		s.mu.Lock()
+		if len(s.h) == 0 {
+			s.mu.Unlock()
+			continue // another worker drained it between scans; rescan
+		}
+		it := s.h[0]
+		last := len(s.h) - 1
+		s.h[0] = s.h[last]
+		s.h = s.h[:last]
+		if last > 0 {
+			siftDown(s.h, 0)
+		}
+		s.mu.Unlock()
+		f.size.Add(-1)
+		return it.nd, true
+	}
+	return replayNode{}, false
+}
+
+// Len returns the current node count (exact between operations,
+// advisory while workers are pushing and popping).
+func (f *shardedFrontier) Len() int { return int(f.size.Load()) }
+
+func siftUp(h []frontierItem, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].less(h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []frontierItem, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].less(h[small]) {
+			small = l
+		}
+		if r < n && h[r].less(h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

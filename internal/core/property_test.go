@@ -1,10 +1,13 @@
 package core
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/apps"
+	"repro/internal/sched"
 	"repro/internal/sketch"
 )
 
@@ -101,5 +104,70 @@ func TestPropInputsIdenticalAcrossSchemes(t *testing.T) {
 				t.Fatalf("%v: input record %d differs", s, i)
 			}
 		}
+	}
+}
+
+// TestPropParallelSearchEquivalence: over a randomized sample of corpus
+// bugs, the work-stealing search at Workers: 4 (with a schedule cache in
+// play) reproduces exactly when the sequential search does, and every
+// captured FullOrder — sequential or parallel — replays to the
+// *identical* failure 100 times out of 100. This is the conformance
+// property the pool must not break: parallelism and caching buy
+// wall-clock, never reproduction power or fidelity.
+func TestPropParallelSearchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bugs := apps.AllBugs()
+	rng.Shuffle(len(bugs), func(i, j int) { bugs[i], bugs[j] = bugs[j], bugs[i] })
+
+	sameFailure := func(a, b *sched.Failure) bool {
+		return a != nil && b != nil && a.Reason == b.Reason &&
+			a.BugID == b.BugID && a.TID == b.TID && a.Step == b.Step
+	}
+
+	checked := 0
+	for _, b := range bugs {
+		if checked >= 4 {
+			break
+		}
+		prog, ok := apps.ProgramForBug(b.ID)
+		if !ok {
+			t.Fatalf("%s: program missing", b.ID)
+		}
+		oracle := MatchBugID(b.ID)
+		var rec *Recording
+		for seed := int64(0); seed < 600; seed++ {
+			r := Record(prog, Options{Scheme: sketch.SYNC, Processors: 4, ScheduleSeed: seed, WorldSeed: 1, MaxSteps: 200_000})
+			if f := r.BugFailure(); f != nil && oracle(f) {
+				rec = r
+				break
+			}
+		}
+		if rec == nil {
+			continue // too rare for this probe budget; the sample moves on
+		}
+		checked++
+
+		seq := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: oracle, Workers: 1})
+		par := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: oracle, Workers: 4, Cache: NewSearchCache(0)})
+		if seq.Reproduced != par.Reproduced {
+			t.Fatalf("%s: sequential reproduced=%v but workers=4 reproduced=%v (seq %+v, par %+v)",
+				b.ID, seq.Reproduced, par.Reproduced, seq.Stats, par.Stats)
+		}
+		for name, res := range map[string]*ReplayResult{"sequential": seq, "parallel": par} {
+			if !res.Reproduced {
+				continue
+			}
+			for i := 0; i < 100; i++ {
+				out := Reproduce(prog, rec, res.Order)
+				if !sameFailure(out.Failure, res.Failure) {
+					t.Fatalf("%s: %s captured order replayed to %v on iteration %d, want %v",
+						b.ID, name, out.Failure, i, res.Failure)
+				}
+			}
+		}
+		t.Logf("%s: reproduced=%v seq=%d attempts par=%d attempts", b.ID, seq.Reproduced, seq.Attempts, par.Attempts)
+	}
+	if checked < 3 {
+		t.Fatalf("only %d corpus bugs manifested within the probe budget; sample too thin", checked)
 	}
 }

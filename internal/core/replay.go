@@ -2,7 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/appkit"
@@ -67,13 +70,34 @@ type ReplayOptions struct {
 	// retention) — experiment E9 measures how reproduction degrades as
 	// the retained fraction shrinks.
 	SketchTail int
-	// Parallelism runs replay attempts concurrently in waves of this
-	// size (attempts are fully independent executions). The search
-	// remains deterministic for a fixed value: the first success in
-	// canonical attempt order wins and Attempts reports its position.
-	// Values below 2 preserve the exact sequential search. Feedback
-	// children enter the frontier one wave later than sequentially.
+	// Workers sizes the work-stealing attempt pool. Each worker pulls
+	// the next canonical attempt — alternating probabilistic samples
+	// and directed frontier pops — and runs it as an independent
+	// execution; results commit strictly in canonical attempt order, so
+	// the first success in that order wins and Attempts reports its
+	// position. The first reproduction cooperatively cancels in-flight
+	// later attempts. Workers <= 1 preserves the exact sequential
+	// search, attempt for attempt — the deterministic baseline. 0
+	// inherits Parallelism.
+	Workers int
+	// Parallelism is the legacy name for Workers (the old engine ran
+	// attempts in lock-step waves of this size); it is honored when
+	// Workers is 0.
 	Parallelism int
+	// AdaptiveWorkers lets the pool shrink and regrow between 1 and
+	// Workers, driven by the measured dispatch occupancy (the
+	// pres_replay_wave_occupancy signal) and the remaining attempt
+	// budget, instead of pinning Workers attempts in flight.
+	AdaptiveWorkers bool
+	// Cache, when non-nil, memoizes attempt outcomes across searches
+	// and workers, keyed by the attempt's canonical identity (schedule
+	// policy + flip set + a digest of the recording and replay knobs).
+	// A hit replaces the simulated execution with the stored outcome —
+	// wall-clock changes, the search trajectory does not, and
+	// reproductions are always re-executed so the captured order is
+	// fresh. Share one cache between searches of the same recording to
+	// amortize repeated exploration.
+	Cache *SearchCache
 	// OnAttempt, if set, is called after each attempt (in canonical
 	// order) with its 1-based index, mode ("directed" or "random") and
 	// outcome ("reproduced", "clean", "diverged" or "other") — live
@@ -82,9 +106,10 @@ type ReplayOptions struct {
 	OnAttempt func(i int, mode, outcome string)
 	// Metrics, when non-nil, receives the search's metrics: attempt
 	// counters by mode and outcome, attempt wall-time histograms,
-	// frontier depth, distinct races seen, wave occupancy and the
-	// substrate's scheduler counters (see OBSERVABILITY.md). Nil, the
-	// default, keeps the replay hot path free of measurement cost.
+	// frontier depth, distinct races seen, worker occupancy, cache
+	// hit/miss counters and the substrate's scheduler counters (see
+	// OBSERVABILITY.md). Nil, the default, keeps the replay hot path
+	// free of measurement cost.
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives one structured obs.AttemptEvent per
 	// attempt in canonical order, closed by an obs.SummaryEvent — the
@@ -119,6 +144,19 @@ func (o ReplayOptions) oracle() Oracle {
 	return o.Oracle
 }
 
+// workers resolves the pool size: Workers, falling back to the legacy
+// Parallelism field, floor 1.
+func (o ReplayOptions) workers() int {
+	w := o.Workers
+	if w <= 0 {
+		w = o.Parallelism
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // ReplayStats counts what the search did.
 type ReplayStats struct {
 	Divergences   int // attempts that diverged from the sketch
@@ -126,6 +164,8 @@ type ReplayStats struct {
 	OtherFailures int // step limits or non-matching bugs
 	RacesSeen     int // distinct race pairs observed across attempts
 	FlipsEnqueued int // feedback children pushed
+	CacheHits     int // attempts answered by the schedule cache
+	CacheMisses   int // attempts executed with the cache enabled
 	FrontierDried bool
 }
 
@@ -162,11 +202,42 @@ type attemptOutcome struct {
 	consumed int
 	note     string
 	wall     time.Duration
+	// rawFailure is the execution's failure before oracle
+	// classification (failure above is only set for the target bug) —
+	// what the schedule cache stores so a hit can be re-judged under
+	// any oracle.
+	rawFailure *sched.Failure
+	// cached marks an outcome served by the schedule cache instead of
+	// an execution.
+	cached bool
+}
+
+// cancelNone is the sentinel for "no reproduction known yet" in the
+// cooperative-cancellation word (any real attempt index is smaller).
+const cancelNone = int64(^uint64(0) >> 1)
+
+// cancellableStrategy wraps an attempt's strategy with a poll of the
+// search-wide first-success index: once some earlier-canonical attempt
+// has reproduced, later in-flight attempts abort at their next
+// scheduling point instead of running to completion.
+type cancellableStrategy struct {
+	inner  sched.Strategy
+	idx    int64
+	cancel *atomic.Int64
+}
+
+func (c *cancellableStrategy) Pick(view *sched.PickView) (trace.TID, bool) {
+	if c.cancel.Load() < c.idx {
+		return trace.NoTID, false
+	}
+	return c.inner.Pick(view)
 }
 
 // runAttempt performs one coordinated replay: sketch enforcement plus
 // the given flip set, with the race detector watching for feedback.
-func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions) attemptOutcome {
+// cancel, when non-nil, lets a concurrent earlier success abort this
+// attempt between scheduling points.
+func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions, idx int64, cancel *atomic.Int64) attemptOutcome {
 	start := time.Now()
 	world := vsys.NewWorld(rec.Options.WorldSeed)
 	world.StartReplay(rec.Inputs)
@@ -194,14 +265,18 @@ func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand
 		maxSteps = rec.Options.MaxSteps
 	}
 
+	var strat sched.Strategy = dir
+	if cancel != nil {
+		strat = &cancellableStrategy{inner: dir, idx: idx, cancel: cancel}
+	}
 	res := execute(prog, rec.Options, sched.Config{
-		Strategy:  dir,
+		Strategy:  strat,
 		Observers: []sched.Observer{dir, det, cap},
 		MaxSteps:  maxSteps,
 		Metrics:   opts.Metrics,
 	}, world)
 
-	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote}
+	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote, rawFailure: res.Failure}
 	if out.horizon == 0 {
 		out.horizon = res.Steps
 	}
@@ -242,6 +317,7 @@ func (o ReplayOptions) reportAttempt(idx int, directed bool, fs flipSet, out att
 		WallMS:         float64(out.wall) / float64(time.Millisecond),
 		SketchConsumed: out.consumed,
 		Divergence:     out.note,
+		Cached:         out.cached,
 	})
 	if m := o.Metrics; m != nil {
 		m.Counter("pres_replay_attempts_total", "mode", mode, "outcome", outcome).Inc()
@@ -264,6 +340,8 @@ func (o ReplayOptions) reportSearch(r *ReplayResult) {
 		Divergences: r.Stats.Divergences,
 		CleanRuns:   r.Stats.CleanRuns,
 		RacesSeen:   r.Stats.RacesSeen,
+		CacheHits:   r.Stats.CacheHits,
+		CacheMisses: r.Stats.CacheMisses,
 	})
 	if m := o.Metrics; m != nil {
 		result := "exhausted"
@@ -273,11 +351,15 @@ func (o ReplayOptions) reportSearch(r *ReplayResult) {
 		m.Counter("pres_replay_searches_total", "result", result).Inc()
 		m.Counter("pres_replay_flips_enqueued_total").Add(uint64(r.Stats.FlipsEnqueued))
 		m.Gauge("pres_replay_races_seen").Set(float64(r.Stats.RacesSeen))
+		if r.Stats.CacheHits+r.Stats.CacheMisses > 0 {
+			m.Counter("pres_replay_cache_hits_total").Add(uint64(r.Stats.CacheHits))
+			m.Counter("pres_replay_cache_misses_total").Add(uint64(r.Stats.CacheMisses))
+		}
 	}
 }
 
-// waveBuckets are the occupancy histogram bounds: parallelism levels
-// worth distinguishing.
+// waveBuckets are the occupancy histogram bounds: pool sizes worth
+// distinguishing.
 var waveBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // Replay is the intelligent replayer: it searches the unrecorded
@@ -294,126 +376,488 @@ var waveBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 // to hit; random attempts cover window shapes the race-flip vocabulary
 // cannot express. Without feedback, only the random sampling remains —
 // the paper's ablation baseline.
+//
+// The search runs on a pool of Workers attempt workers over a sharded
+// priority frontier: there is no wave barrier — a failed directed
+// attempt's children enter the frontier the moment it commits, and any
+// idle worker steals them. Attempt outcomes commit strictly in
+// canonical attempt order under one mutex, so stats, feedback, dedup
+// and every observability surface behave as if the attempts had run
+// sequentially; the first success in canonical order wins and
+// cooperatively cancels in-flight later attempts. With Workers <= 1
+// the engine degenerates to the exact sequential search — dispatch,
+// execute and commit strictly alternate — which is the deterministic
+// baseline the tests pin.
 func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayResult {
-	r := &ReplayResult{}
-	if !opts.Feedback {
-		return replayNoFeedback(prog, rec, opts, r)
+	s := &searchState{
+		prog:      prog,
+		rec:       rec,
+		opts:      opts,
+		budget:    opts.maxAttempts(),
+		feedback:  opts.Feedback,
+		maxW:      opts.workers(),
+		winner:    -1,
+		failTID:   trace.NoTID,
+		pending:   make(map[int]*searchJob),
+		seen:      map[string]bool{"": true},
+		racesSeen: map[string]bool{},
+		r:         &ReplayResult{},
 	}
-
-	frontier := []replayNode{{}}
-	tried := map[string]bool{"": true}
-	racesSeen := map[string]bool{}
-
-	// The production run's failing thread, if the recording captured the
-	// failure: races involving it are the prime suspects.
-	failTID := trace.NoTID
-	if f := rec.BugFailure(); f != nil {
-		failTID = f.TID
+	s.cond = sync.NewCond(&s.mu)
+	s.cancel.Store(cancelNone)
+	s.likelyWinner = -1
+	s.target = s.maxW
+	if opts.AdaptiveWorkers && s.maxW > 2 {
+		// Start mid-pool and let the occupancy signal grow or shrink it.
+		s.target = (s.maxW + 1) / 2
 	}
-
-	wave := opts.Parallelism
-	if wave < 1 {
-		wave = 1
+	if t := s.hwClampLocked(s.target); t < s.target {
+		s.target = t
 	}
-	for r.Attempts < opts.maxAttempts() {
-		// Compose the next wave of jobs: odd attempts sample the space
-		// probabilistically; even attempts pop the directed frontier
-		// (FIFO: breadth-first over flip depth — nearly every real bug
-		// needs only one or two reorderings, so all single flips are
-		// tried before any pair, and within a level insertion order
-		// keeps the best-ranked candidates first).
-		type job struct {
-			directed bool
-			nd       replayNode
-			seed     int64
-			out      attemptOutcome
+	if opts.Cache != nil {
+		s.ctx = searchDigest(prog, rec, opts)
+	}
+	if s.feedback {
+		s.frontier = newShardedFrontier(s.maxW)
+		s.frontier.Push(replayNode{})
+		// The production run's failing thread, if the recording captured
+		// the failure: races involving it are the prime suspects.
+		if f := rec.BugFailure(); f != nil {
+			s.failTID = f.TID
 		}
-		var jobs []*job
-		for len(jobs) < wave && r.Attempts+len(jobs) < opts.maxAttempts() {
-			idx := r.Attempts + len(jobs)
-			if idx%2 == 1 || len(frontier) == 0 {
-				jobs = append(jobs, &job{seed: int64(idx)})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.maxW; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id)
+		}(w)
+	}
+	wg.Wait()
+
+	if !s.r.Reproduced && s.feedback {
+		s.r.Stats.FrontierDried = s.frontier.Len() == 0
+		if m := opts.Metrics; m != nil {
+			m.Gauge("pres_replay_frontier_depth").Set(float64(s.frontier.Len()))
+		}
+	}
+	opts.reportSearch(s.r)
+	return s.r
+}
+
+// searchJob is one dispatched attempt: its canonical index, what kind
+// of exploration it performs, and (after running) its outcome.
+type searchJob struct {
+	idx       int // 0-based canonical attempt index
+	directed  bool
+	nd        replayNode
+	seed      int64
+	likelyWin bool // cache says this attempt reproduced last time
+	out       attemptOutcome
+}
+
+// searchState is the shared state of one replay search. Two locking
+// domains keep the workers honest:
+//
+//   - mu orders everything canonical: attempt dispatch (index
+//     assignment), the in-order commit of outcomes (stats, feedback
+//     children, the dedup set `seen`, trace emission), and the adaptive
+//     pool controller. The dedup set is therefore mutated only under
+//     mu — the race the old wave engine's `tried` map invited is
+//     structurally gone (pinned by TestSearchDedupRaceStress).
+//   - the frontier and the schedule cache carry their own finer locks,
+//     so pushes, steals and cache probes from other workers never wait
+//     on a commit in progress.
+//
+// cancel is the lone cross-worker atomic: the lowest attempt index
+// known to have reproduced, polled by in-flight attempts at every
+// scheduling point.
+type searchState struct {
+	prog     *appkit.Program
+	rec      *Recording
+	opts     ReplayOptions
+	budget   int
+	feedback bool
+	maxW     int
+	ctx      uint64 // schedule-cache context digest
+	failTID  trace.TID
+	frontier *shardedFrontier
+	cancel   atomic.Int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	next       int // next canonical index to dispatch
+	commitNext int // next canonical index to commit
+	pending    map[int]*searchJob
+	winner       int // committed first-success index; -1 while searching
+	directedLive int // dispatched directed attempts not yet completed
+	// likelyWinner is the lowest in-flight attempt whose cache entry
+	// says it reproduced last time (re-executing to capture a fresh
+	// order); dispatch pauses past it rather than speculate on attempts
+	// its success is about to cancel. -1 when no such attempt is known.
+	likelyWinner int
+	seen         map[string]bool
+	racesSeen    map[string]bool
+	r          *ReplayResult
+	active     int     // workers currently executing an attempt
+	target     int     // adaptive pool-size target
+	occ        float64 // EWMA of dispatch-time occupancy
+	occInit    bool
+}
+
+func (s *searchState) worker(id int) {
+	for {
+		j := s.dispatch(id)
+		if j == nil {
+			return
+		}
+		s.runJob(id, j)
+		s.complete(j)
+	}
+}
+
+// dispatch reserves the next canonical attempt and decides its kind:
+// odd indices sample the space probabilistically; even indices pop the
+// directed frontier (priority: breadth-first over flip depth — nearly
+// every real bug needs only one or two reorderings, so all single
+// flips are tried before any pair), falling back to a probabilistic
+// sample when the frontier is empty. Returns nil when the search is
+// over: budget dispatched or a success committed. Workers whose id
+// exceeds the adaptive target park here until retuned.
+//
+// A directed slot that finds the frontier empty while another directed
+// attempt is still in flight waits for that attempt to commit instead
+// of burning the slot on a speculative random sample: the in-flight
+// attempt's feedback is about to refill the frontier, and the paper's
+// search is worth more per execution than blind sampling. At Workers=1
+// no other attempt is ever in flight, so the sequential composition —
+// pop if available, else random — is untouched.
+func (s *searchState) dispatch(id int) *searchJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.winner >= 0 || s.next >= s.budget {
+			return nil
+		}
+		if id >= s.target {
+			s.cond.Wait()
+			continue
+		}
+		if lw := s.likelyWinner; lw >= 0 && s.next > lw {
+			// A warm-cache attempt below us is re-executing a known
+			// reproduction; its success cancels everything we would
+			// start now, so wait for it instead of burning CPU.
+			s.cond.Wait()
+			continue
+		}
+		idx := s.next
+		if s.feedback && idx%2 == 0 {
+			if nd, ok := s.frontier.Pop(id); ok {
+				j := &searchJob{idx: idx, directed: true, nd: nd, seed: int64(idx)}
+				s.admitLocked(j)
+				return j
+			}
+			if s.directedLive > 0 {
+				s.cond.Wait()
 				continue
 			}
-			jobs = append(jobs, &job{directed: true, nd: frontier[0]})
-			frontier = frontier[1:]
 		}
-		if len(jobs) == 0 {
-			break
-		}
-		if m := opts.Metrics; m != nil {
-			m.Histogram("pres_replay_wave_occupancy", waveBuckets).Observe(float64(len(jobs)))
-		}
-		if len(jobs) == 1 {
-			j := jobs[0]
-			if j.directed {
-				j.out = runAttempt(prog, rec, j.nd.fs, nil, opts)
-			} else {
-				j.out = runAttempt(prog, rec, flipSet{}, rand.New(rand.NewSource(j.seed)), opts)
-			}
-		} else {
-			done := make(chan struct{})
-			for _, j := range jobs {
-				go func(j *job) {
-					if j.directed {
-						j.out = runAttempt(prog, rec, j.nd.fs, nil, opts)
-					} else {
-						j.out = runAttempt(prog, rec, flipSet{}, rand.New(rand.NewSource(j.seed)), opts)
-					}
-					done <- struct{}{}
-				}(j)
-			}
-			for range jobs {
-				<-done
-			}
-		}
+		j := &searchJob{idx: idx, seed: int64(idx)}
+		s.admitLocked(j)
+		return j
+	}
+}
 
-		// Consume outcomes in canonical order; the first success wins.
-		var succ *job
-		for _, j := range jobs {
-			r.Attempts++
-			opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
-			if j.out.bug {
-				succ = j
-				break
+// admitLocked finalizes a composed job's dispatch: consumes the
+// canonical index and updates the occupancy accounting. Runs under
+// s.mu.
+func (s *searchState) admitLocked(j *searchJob) {
+	s.next++
+	s.active++
+	if j.directed {
+		s.directedLive++
+	}
+	s.observeOccupancyLocked()
+}
+
+// runJob produces the attempt's outcome: from the schedule cache when
+// an equivalent attempt already executed (and its failure is not the
+// target bug — reproductions always re-execute so the captured order
+// is fresh), otherwise by running the simulated execution.
+func (s *searchState) runJob(id int, j *searchJob) {
+	var key string
+	if s.opts.Cache != nil {
+		seeded := !j.directed && !(s.isBaseline(j))
+		key = trace.ScheduleCacheKey(s.ctx, j.seed, seeded, canonicalFlipKey(j.nd.fs))
+		if e, ok := s.opts.Cache.lookup(key); ok {
+			if !s.isTargetBug(e.failure) {
+				start := time.Now()
+				j.out = attemptOutcome{
+					races:      e.races,
+					horizon:    e.horizon,
+					consumed:   e.consumed,
+					note:       e.note,
+					rawFailure: e.failure,
+					cached:     true,
+				}
+				switch {
+				case e.failure == nil:
+					j.out.clean = true
+				case e.failure.Reason == sched.ReasonDiverged:
+					j.out.diverged = true
+				}
+				j.out.wall = time.Since(start)
+				return
 			}
-			switch {
-			case j.out.diverged:
-				r.Stats.Divergences++
-			case j.out.clean:
-				r.Stats.CleanRuns++
-			default:
-				r.Stats.OtherFailures++
+			// The cache says this attempt reproduced the target bug
+			// last time. It must re-execute so this search captures a
+			// fresh full order — but flag it so dispatch stops
+			// speculating on attempts its success is about to cancel.
+			s.mu.Lock()
+			if s.likelyWinner < 0 || j.idx < s.likelyWinner {
+				s.likelyWinner = j.idx
+				j.likelyWin = true
 			}
-			for _, p := range j.out.races {
-				racesSeen[p.Key()] = true
-			}
-			r.Stats.RacesSeen = len(racesSeen)
-			if j.directed {
-				var added int
-				frontier, added = appendChildren(frontier, j.nd, j.out, failTID, tried, opts)
-				r.Stats.FlipsEnqueued += added
-			}
-		}
-		if m := opts.Metrics; m != nil {
-			m.Gauge("pres_replay_frontier_depth").Set(float64(len(frontier)))
-			m.Gauge("pres_replay_frontier_depth_peak").SetMax(float64(len(frontier)))
-		}
-		if succ != nil {
-			r.Reproduced = true
-			r.Failure = succ.out.failure
-			r.Order = succ.out.order
-			if succ.directed {
-				r.Flips = len(succ.nd.fs.flips)
-				r.RootCauses = succ.nd.fs.pairs()
-			}
-			opts.reportSearch(r)
-			return r
+			s.mu.Unlock()
 		}
 	}
-	r.Stats.FrontierDried = len(frontier) == 0
-	opts.reportSearch(r)
-	return r
+	var rng *rand.Rand
+	if !j.directed && !s.isBaseline(j) {
+		rng = rand.New(rand.NewSource(j.seed))
+	}
+	var cancel *atomic.Int64
+	if s.maxW > 1 {
+		cancel = &s.cancel
+	}
+	j.out = runAttempt(s.prog, s.rec, j.nd.fs, rng, s.opts, int64(j.idx), cancel)
+	if s.opts.Cache != nil && s.cancel.Load() >= int64(j.idx) {
+		// Store only complete executions: a cancelled attempt's outcome
+		// is truncated. A reproduction's raw failure is stored too — as
+		// the likely-winner hint above — but never served in place of a
+		// re-execution, so every search captures its own order.
+		s.opts.Cache.store(cacheEntry{
+			key:      key,
+			races:    j.out.races,
+			failure:  j.out.rawFailure,
+			horizon:  j.out.horizon,
+			consumed: j.out.consumed,
+			note:     j.out.note,
+		})
+	}
+}
+
+// isBaseline reports whether j is the deterministic sticky-policy
+// attempt with no flips: attempt 0 of a no-feedback search (feedback
+// mode's attempt 0 is the directed frontier root, which is the same
+// execution).
+func (s *searchState) isBaseline(j *searchJob) bool {
+	return !s.feedback && j.idx == 0
+}
+
+func (s *searchState) isTargetBug(f *sched.Failure) bool {
+	return f != nil && f.IsBug() && s.opts.oracle()(f)
+}
+
+// complete hands a finished attempt to the committer: outcomes commit
+// strictly in canonical index order, so whichever worker completes the
+// next-in-order attempt drains everything contiguous behind it.
+func (s *searchState) complete(j *searchJob) {
+	if j.out.bug {
+		// Publish the reproduction immediately (before its canonical
+		// turn): in-flight attempts with higher indices poll this word
+		// and abort at their next scheduling point.
+		for {
+			cur := s.cancel.Load()
+			if int64(j.idx) >= cur || s.cancel.CompareAndSwap(cur, int64(j.idx)) {
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	s.active--
+	if j.directed {
+		s.directedLive--
+	}
+	if j.likelyWin && s.likelyWinner == j.idx {
+		s.likelyWinner = -1
+	}
+	if m := s.opts.Metrics; m != nil {
+		m.Gauge("pres_replay_workers_active").Set(float64(s.active))
+	}
+	s.pending[j.idx] = j
+	for s.winner < 0 {
+		nj, ok := s.pending[s.commitNext]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.commitNext)
+		s.commitNext++
+		s.commitLocked(nj)
+	}
+	s.retuneLocked()
+	s.mu.Unlock()
+	// Wake parked workers (the target may have grown) and dispatchers
+	// blocked behind a finished search.
+	s.cond.Broadcast()
+}
+
+// commitLocked folds one attempt, in canonical order, into the result:
+// observability, stats, and — for failed directed attempts — feedback
+// children into the frontier. Runs under s.mu.
+func (s *searchState) commitLocked(j *searchJob) {
+	r := s.r
+	r.Attempts++
+	if s.opts.Cache != nil {
+		if j.out.cached {
+			r.Stats.CacheHits++
+		} else {
+			r.Stats.CacheMisses++
+		}
+	}
+	s.opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
+	if j.out.bug {
+		s.winner = j.idx
+		r.Reproduced = true
+		r.Failure = j.out.failure
+		r.Order = j.out.order
+		if j.directed {
+			r.Flips = len(j.nd.fs.flips)
+			r.RootCauses = j.nd.fs.pairs()
+		}
+		return
+	}
+	switch {
+	case j.out.diverged:
+		r.Stats.Divergences++
+	case j.out.clean:
+		r.Stats.CleanRuns++
+	default:
+		r.Stats.OtherFailures++
+	}
+	for _, p := range j.out.races {
+		s.racesSeen[p.Key()] = true
+	}
+	r.Stats.RacesSeen = len(s.racesSeen)
+	if j.directed {
+		r.Stats.FlipsEnqueued += s.appendChildrenLocked(j.nd, j.out)
+	}
+	if m := s.opts.Metrics; m != nil && s.feedback {
+		depth := float64(s.frontier.Len())
+		m.Gauge("pres_replay_frontier_depth").Set(depth)
+		m.Gauge("pres_replay_frontier_depth_peak").SetMax(depth)
+	}
+}
+
+// observeOccupancyLocked samples how many attempts are in flight at
+// dispatch time — the occupancy signal the adaptive controller and the
+// pres_replay_wave_occupancy histogram consume.
+func (s *searchState) observeOccupancyLocked() {
+	if m := s.opts.Metrics; m != nil {
+		m.Histogram("pres_replay_wave_occupancy", waveBuckets).Observe(float64(s.active))
+		m.Gauge("pres_replay_workers_active").Set(float64(s.active))
+	}
+	if !s.occInit {
+		s.occ = float64(s.active)
+		s.occInit = true
+		return
+	}
+	s.occ = 0.8*s.occ + 0.2*float64(s.active)
+}
+
+// retuneLocked is the adaptive pool controller: saturated occupancy
+// grows the target toward Workers, sustained idleness shrinks it
+// toward 1, and the target never exceeds the attempts still left in
+// the budget. Without AdaptiveWorkers the target stays pinned (modulo
+// the budget clamp, which is free parallelism hygiene either way).
+func (s *searchState) retuneLocked() {
+	t := s.maxW
+	if s.opts.AdaptiveWorkers {
+		t = s.target
+		switch {
+		case s.occ >= 0.75*float64(s.target) && s.target < s.maxW:
+			t = s.target + 1
+		case s.occ < 0.4*float64(s.target) && s.target > 1:
+			t = s.target - 1
+		}
+		t = s.hwClampLocked(t)
+	}
+	if remaining := s.budget - s.next; remaining >= 1 && t > remaining {
+		t = remaining
+	}
+	if t < 1 {
+		t = 1
+	}
+	s.target = t
+}
+
+// hwClampLocked bounds an adaptive target by the host's schedulable
+// CPUs: replay attempts are pure compute, so running more of them
+// concurrently than GOMAXPROCS only makes them preempt one another
+// and stretches every attempt's wall clock. The +1 keeps one
+// successor warm behind the running set. Fixed-size pools (no
+// AdaptiveWorkers) honor the caller's Workers choice untouched.
+func (s *searchState) hwClampLocked(t int) int {
+	if !s.opts.AdaptiveWorkers {
+		return t
+	}
+	if hw := runtime.GOMAXPROCS(0) + 1; t > hw {
+		return hw
+	}
+	return t
+}
+
+// canonicalFlipKey is the order-independent identity of a flip set —
+// the dedup and cache key. Distinct sets never collide
+// (trace.FlipSetKey is injective; FuzzFlipSetKey pins it).
+func canonicalFlipKey(fs flipSet) string {
+	if len(fs.flips) == 0 {
+		return ""
+	}
+	ids := make([]trace.FlipID, len(fs.flips))
+	for i, f := range fs.flips {
+		ids[i] = trace.FlipID{
+			Addr:       f.addr,
+			HoldTID:    f.holdTID,
+			HoldCount:  f.holdCount,
+			UntilTID:   f.untilTID,
+			UntilCount: f.untilCnt,
+		}
+	}
+	return trace.FlipSetKey(ids)
+}
+
+// searchDigest hashes everything that determines what a replay attempt
+// of this search executes — program, recording (sketch, inputs, world)
+// and the replay knobs that alter enforcement — into the schedule
+// cache's context component. Searches with equal digests run equal
+// attempts for equal (policy, flip set) pairs.
+func searchDigest(prog *appkit.Program, rec *Recording, opts ReplayOptions) uint64 {
+	d := trace.NewDigest()
+	d.String(prog.Name)
+	d.String(rec.Scheme.String())
+	d.Int(rec.Options.WorldSeed)
+	d.Int(int64(rec.Options.Processors))
+	d.Int(int64(rec.Options.Scale))
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = rec.Options.MaxSteps
+	}
+	d.Word(maxSteps)
+	d.Int(int64(opts.SketchTail))
+	if opts.UseLockset {
+		d.Word(1)
+	} else {
+		d.Word(0)
+	}
+	for _, e := range rec.Sketch.Entries {
+		d.Entry(e)
+	}
+	for _, in := range rec.Inputs.Records {
+		d.Input(in)
+	}
+	return d.Sum()
 }
 
 // replayNode is one point in the directed search tree: a flip set plus
@@ -426,19 +870,24 @@ type replayNode struct {
 	parentRaces map[string]bool
 }
 
-// appendChildren ranks a failed directed attempt's races and appends the
-// resulting child flip sets to the frontier. Ranking: races the parent's
-// deviation newly created beat pre-existing ones (at most two slots go
-// to the latter — they are reachable from other nodes too), and within a
-// tier, races closest to the recorded horizon — the step where the
-// truncated production sketch ran out, i.e. where the production run
-// died — go first; races involving the production run's failing thread
-// lead overall, preferring flips that hold *its* access while the
-// partner slips in.
-func appendChildren(frontier []replayNode, nd replayNode, out attemptOutcome, failTID trace.TID, tried map[string]bool, opts ReplayOptions) ([]replayNode, int) {
+// appendChildrenLocked ranks a failed directed attempt's races and
+// pushes the resulting child flip sets onto the frontier. Ranking:
+// races the parent's deviation newly created beat pre-existing ones
+// (at most two slots go to the latter — they are reachable from other
+// nodes too), and within a tier, races closest to the recorded
+// horizon — the step where the truncated production sketch ran out,
+// i.e. where the production run died — go first; races involving the
+// production run's failing thread lead overall, preferring flips that
+// hold *its* access while the partner slips in.
+//
+// Dedup happens here, under the commit mutex, against canonical flip-
+// set keys — so two orderings of the same flips are one node, and no
+// worker ever observes a half-updated dedup set.
+func (s *searchState) appendChildrenLocked(nd replayNode, out attemptOutcome) int {
 	if len(nd.fs.flips) >= maxFlipDepth {
-		return frontier, 0 // deep chains are noise; let siblings run
+		return 0 // deep chains are noise; let siblings run
 	}
+	failTID := s.failTID
 	myRaces := make(map[string]bool, len(out.races))
 	for _, p := range out.races {
 		myRaces[p.Key()] = true
@@ -468,7 +917,7 @@ func appendChildren(frontier []replayNode, nd replayNode, out attemptOutcome, fa
 	oldSlots := 2
 	for _, wantFresh := range []bool{true, false} {
 		for _, p := range byDist {
-			if added >= opts.branch() {
+			if added >= s.opts.branch() {
 				break
 			}
 			fresh := nd.parentRaces == nil || !nd.parentRaces[p.Key()]
@@ -479,18 +928,22 @@ func appendChildren(frontier []replayNode, nd replayNode, out attemptOutcome, fa
 				continue
 			}
 			child, ok := nd.fs.with(flipOf(p))
-			if !ok || tried[child.id] {
+			if !ok {
 				continue
 			}
-			tried[child.id] = true
+			ck := canonicalFlipKey(child)
+			if s.seen[ck] {
+				continue
+			}
+			s.seen[ck] = true
 			if !fresh {
 				oldSlots--
 			}
-			frontier = append(frontier, replayNode{fs: child, parentRaces: myRaces})
+			s.frontier.Push(replayNode{fs: child, parentRaces: myRaces})
 			added++
 		}
 	}
-	return frontier, added
+	return added
 }
 
 // maxFlipDepth caps feedback chains: the breadth-first search tries all
@@ -513,42 +966,6 @@ func outcomeName(out attemptOutcome) string {
 	}
 }
 
-func replayNoFeedback(prog *appkit.Program, rec *Recording, opts ReplayOptions, r *ReplayResult) *ReplayResult {
-	racesSeen := map[string]bool{}
-	for i := 0; i < opts.maxAttempts(); i++ {
-		var rng *rand.Rand
-		if i > 0 {
-			// Attempt 0 is the deterministic baseline (comparable to
-			// feedback mode's first attempt); later attempts are random.
-			rng = rand.New(rand.NewSource(int64(i)))
-		}
-		out := runAttempt(prog, rec, flipSet{}, rng, opts)
-		r.Attempts++
-		opts.reportAttempt(r.Attempts, false, flipSet{}, out)
-		if out.bug {
-			r.Reproduced = true
-			r.Failure = out.failure
-			r.Order = out.order
-			opts.reportSearch(r)
-			return r
-		}
-		switch {
-		case out.diverged:
-			r.Stats.Divergences++
-		case out.clean:
-			r.Stats.CleanRuns++
-		default:
-			r.Stats.OtherFailures++
-		}
-		for _, p := range out.races {
-			racesSeen[p.Key()] = true
-		}
-		r.Stats.RacesSeen = len(racesSeen)
-	}
-	opts.reportSearch(r)
-	return r
-}
-
 // Reproduce replays a captured full order and returns the run's result;
 // with a faithful order the recorded bug manifests every time.
 func Reproduce(prog *appkit.Program, rec *Recording, order *trace.FullOrder) *sched.Result {
@@ -559,9 +976,3 @@ func Reproduce(prog *appkit.Program, rec *Recording, order *trace.FullOrder) *sc
 		MaxSteps: rec.Options.MaxSteps,
 	}, world)
 }
-
-// tightWindow is the global-step distance under which a race is
-// considered "tight" and prioritized by feedback: an access pair that
-// nearly touched is an atomicity-violation-shaped window whose flip
-// rarely wedges the schedule.
-const tightWindow = 100

@@ -5,21 +5,22 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sketch"
 )
 
 func TestReplayParallelMatchesSequential(t *testing.T) {
-	// fft-barrier reproduces on the first directed attempt, i.e. inside
-	// the first wave, where the parallel search is attempt-for-attempt
-	// identical to the sequential one — so the whole ReplayResult must
-	// match bit for bit.
+	// fft-barrier reproduces on the first directed attempt — before any
+	// worker could race ahead — so the whole ReplayResult must match the
+	// sequential search bit for bit even at Workers: 4.
 	prog, ok := apps.ProgramForBug("fft-barrier")
 	if !ok {
 		t.Fatal("fft-barrier not in corpus")
 	}
 	rec := recordBuggy(t, prog, sketch.SYNC)
-	seq := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Parallelism: 1})
-	par := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Parallelism: 4})
+	seq := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Workers: 1})
+	par := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("fft-barrier"), Workers: 4})
 	if !seq.Reproduced {
 		t.Fatalf("sequential search failed: %+v", seq.Stats)
 	}
@@ -28,20 +29,108 @@ func TestReplayParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestReplayParallelDeterministic(t *testing.T) {
-	// For a multi-attempt bug the parallel search may legitimately
-	// differ from the sequential one (feedback children enter the
-	// frontier a wave later) — but for a fixed Parallelism the search
-	// must be a pure function of its inputs.
+func TestReplayWorkersOneDeterministic(t *testing.T) {
+	// Workers: 1 is the deterministic baseline: dispatch, execution and
+	// commit strictly alternate, so the search is a pure function of its
+	// inputs — two runs must agree bit for bit, and the legacy
+	// Parallelism field must select the same engine.
 	prog := atomBugProg(3)
 	rec := recordBuggy(t, prog, sketch.SYNC)
-	opts := ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 4}
-	a := Replay(prog, rec, opts)
-	b := Replay(prog, rec, opts)
+	a := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1})
+	b := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1})
+	c := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 1})
 	if !a.Reproduced {
-		t.Fatalf("parallel search failed: attempts=%d stats=%+v", a.Attempts, a.Stats)
+		t.Fatalf("search failed: attempts=%d stats=%+v", a.Attempts, a.Stats)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same inputs, different results:\na: %+v\nb: %+v", a, b)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("Parallelism: 1 diverged from Workers: 1:\na: %+v\nc: %+v", a, c)
+	}
+}
+
+func TestReplayParallelReproduces(t *testing.T) {
+	// At Workers > 1 the search is not attempt-for-attempt deterministic
+	// (which attempts go directed depends on frontier timing), but the
+	// contract is: it reproduces whenever the sequential search does, and
+	// the captured order replays to the identical failure.
+	prog := atomBugProg(3)
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	seq := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1})
+	if !seq.Reproduced {
+		t.Fatal("sequential search failed")
+	}
+	for _, w := range []int{2, 4, 8} {
+		par := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: w})
+		if !par.Reproduced {
+			t.Fatalf("workers=%d failed to reproduce: %+v", w, par.Stats)
+		}
+		out := Reproduce(prog, rec, par.Order)
+		if out.Failure == nil || out.Failure.BugID != "atom-bug" {
+			t.Fatalf("workers=%d captured order lost the bug: %v", w, out.Failure)
+		}
+		if par.Attempts < 1 || par.Attempts > seq.Stats.Divergences+seq.Stats.CleanRuns+seq.Stats.OtherFailures+DefaultMaxAttempts {
+			t.Fatalf("workers=%d implausible attempt count %d", w, par.Attempts)
+		}
+	}
+}
+
+func TestReplayAdaptiveWorkersReproduces(t *testing.T) {
+	// The adaptive controller only retunes pool size; it must not change
+	// whether the bug reproduces.
+	prog := atomBugProg(3)
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	reg := obs.NewRegistry()
+	res := Replay(prog, rec, ReplayOptions{
+		Feedback: true, Oracle: MatchBugID("atom-bug"),
+		Workers: 8, AdaptiveWorkers: true, Metrics: reg,
+	})
+	if !res.Reproduced {
+		t.Fatalf("adaptive search failed: %+v", res.Stats)
+	}
+	if out := Reproduce(prog, rec, res.Order); out.Failure == nil || out.Failure.BugID != "atom-bug" {
+		t.Fatalf("captured order lost the bug: %v", out.Failure)
+	}
+}
+
+func TestReplayFrontierDriesDeterministically(t *testing.T) {
+	// A lock-only deadlock program has no data races, so feedback has
+	// nothing to flip: the frontier holds only the root, every directed
+	// slot past it falls back to random sampling, and with an oracle
+	// that never matches the search must exhaust with FrontierDried set
+	// — identically on every run — and the final frontier-depth gauge
+	// must read zero.
+	prog := deadlockProg()
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	never := func(*sched.Failure) bool { return false }
+	var want *ReplayResult
+	for run := 0; run < 2; run++ {
+		reg := obs.NewRegistry()
+		res := Replay(prog, rec, ReplayOptions{
+			Feedback: true, Oracle: never, MaxAttempts: 12, Workers: 1, Metrics: reg,
+		})
+		if res.Reproduced {
+			t.Fatal("oracle never matches but search reproduced")
+		}
+		if !res.Stats.FrontierDried {
+			t.Fatalf("run %d: frontier did not dry: %+v", run, res.Stats)
+		}
+		if got := reg.Gauge("pres_replay_frontier_depth").Value(); got != 0 {
+			t.Fatalf("run %d: final frontier depth gauge = %v, want 0", run, got)
+		}
+		if want == nil {
+			want = res
+		} else if !reflect.DeepEqual(want, res) {
+			t.Fatalf("frontier-dried search nondeterministic:\na: %+v\nb: %+v", want, res)
+		}
+	}
+	// The same exhaustion at Workers: 4 must also report the dried
+	// frontier (stats beyond that may differ run to run).
+	res := Replay(prog, rec, ReplayOptions{
+		Feedback: true, Oracle: never, MaxAttempts: 12, Workers: 4,
+	})
+	if res.Reproduced || !res.Stats.FrontierDried {
+		t.Fatalf("workers=4 exhaustion: reproduced=%v dried=%v", res.Reproduced, res.Stats.FrontierDried)
 	}
 }

@@ -103,9 +103,10 @@ func TestReplayBudgetOne(t *testing.T) {
 	}
 }
 
-// TestParallelReplayMatchesSequential: wave parallelism must find the
-// bug and report a comparable attempt position; for a fixed parallelism
-// the result must be deterministic.
+// TestParallelReplayMatchesSequential: the work-stealing pool must find
+// the bug whenever the sequential search does, and its captured order
+// must replay to the same failure; Workers=1 must preserve the exact
+// sequential search.
 func TestParallelReplayMatchesSequential(t *testing.T) {
 	prog := atomBugProg(3)
 	rec := recordBuggy(t, prog, sketch.SYNC)
@@ -114,27 +115,22 @@ func TestParallelReplayMatchesSequential(t *testing.T) {
 		t.Fatal("sequential failed")
 	}
 	par := Replay(prog, rec, ReplayOptions{
-		Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 4,
+		Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 4,
 	})
 	if !par.Reproduced {
 		t.Fatalf("parallel failed: %+v", par.Stats)
-	}
-	par2 := Replay(prog, rec, ReplayOptions{
-		Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 4,
-	})
-	if par.Attempts != par2.Attempts {
-		t.Fatalf("parallel replay nondeterministic: %d vs %d", par.Attempts, par2.Attempts)
 	}
 	out := Reproduce(prog, rec, par.Order)
 	if out.Failure == nil || out.Failure.BugID != "atom-bug" {
 		t.Fatalf("parallel capture lost the bug: %v", out.Failure)
 	}
-	// Parallelism=1 must preserve the exact sequential search.
+	// Workers=1 must preserve the exact sequential search, attempt for
+	// attempt — for a fixed seed the attempt count cannot move.
 	one := Replay(prog, rec, ReplayOptions{
-		Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 1,
+		Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1,
 	})
 	if one.Attempts != seq.Attempts {
-		t.Fatalf("P=1 diverged from sequential: %d vs %d", one.Attempts, seq.Attempts)
+		t.Fatalf("W=1 diverged from sequential: %d vs %d", one.Attempts, seq.Attempts)
 	}
 }
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -326,27 +327,48 @@ type E8Row struct {
 	Divergences int
 	CleanRuns   int
 	Reproduced  bool
-	Err         error
+	// CacheSaved is how many executions a second search over the same
+	// recording answered from the schedule cache instead of re-running —
+	// the repeated-diagnosis saving the cache buys.
+	CacheSaved int
+	Err        error
 }
 
 // RunE8 collects the replayer's search statistics for every bug under
-// SYNC sketching.
+// SYNC sketching. Each bug is searched twice against a shared schedule
+// cache (cfg.SearchCache, or a per-bug cache when unset): the first,
+// cold search fills the table's attempt statistics, the second reports
+// how many of its executions the cache absorbed.
 func RunE8(cfg Config) []E8Row {
 	defer cfg.timeExperiment("e8")()
 	var rows []E8Row
 	for _, b := range apps.AllBugs() {
 		row := E8Row{Bug: b.ID}
-		_, res, err := ReproduceBug(b.ID, sketch.SYNC, cfg)
+		prog, ok := apps.ProgramForBug(b.ID)
+		if !ok {
+			row.Err = fmt.Errorf("harness: unknown bug %q", b.ID)
+			rows = append(rows, row)
+			continue
+		}
+		_, rec, err := FindBuggySeed(prog, b.ID, sketch.SYNC, cfg)
 		if err != nil {
 			row.Err = err
-		} else {
-			row.Attempts = res.Attempts
-			row.Flips = res.Flips
-			row.RacesSeen = res.Stats.RacesSeen
-			row.Divergences = res.Stats.Divergences
-			row.CleanRuns = res.Stats.CleanRuns
-			row.Reproduced = res.Reproduced
+			rows = append(rows, row)
+			continue
 		}
+		c := cfg
+		if c.SearchCache == nil {
+			c.SearchCache = core.NewSearchCache(0)
+		}
+		res := core.Replay(prog, rec, c.replayOptions(b.ID))
+		row.Attempts = res.Attempts
+		row.Flips = res.Flips
+		row.RacesSeen = res.Stats.RacesSeen
+		row.Divergences = res.Stats.Divergences
+		row.CleanRuns = res.Stats.CleanRuns
+		row.Reproduced = res.Reproduced
+		warm := core.Replay(prog, rec, c.replayOptions(b.ID))
+		row.CacheSaved = warm.Stats.CacheHits
 		rows = append(rows, row)
 	}
 	return rows
@@ -452,6 +474,83 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 			res := core.Replay(prog, rec, cfg.replayOptions(p.BugID))
 			row.Attempts = res.Attempts
 			row.Reproduced = res.Reproduced
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// E11Row is one cell of the work-stealing-search scaling experiment (an
+// extension beyond the paper): wall-clock to reproduce one bug at a
+// given worker-pool size, cold and warm against the schedule cache.
+type E11Row struct {
+	Bug        string
+	Workers    int
+	Attempts   int
+	Reproduced bool
+	// WallMS is the best-of-3 cold search wall time; WarmWallMS times
+	// the same search with the cache already filled by a prior run.
+	WallMS     float64
+	WarmWallMS float64
+	// CacheSaved counts the warm search's executions answered from the
+	// cache.
+	CacheSaved int
+	Err        error
+}
+
+// E11Bugs is the default subset for the scaling sweep: the two bugs
+// whose searches are long enough for pool effects to matter.
+var E11Bugs = []string{"mysql-169", "lu-atomicity"}
+
+// RunE11 sweeps the replay worker-pool size for a bug subset under SYNC
+// sketching: each (bug, workers) cell reports cold wall-clock (best of
+// 3, no cache) and warm wall-clock (a fresh cache filled by one run,
+// then timed). Workers=1 is the sequential baseline the speedups in
+// EXPERIMENTS.md are quoted against.
+func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
+	defer cfg.timeExperiment("e11")()
+	if bugs == nil {
+		bugs = E11Bugs
+	}
+	if workers == nil {
+		workers = []int{1, 2, 4, 8}
+	}
+	var rows []E11Row
+	for _, bug := range bugs {
+		prog, ok := apps.ProgramForBug(bug)
+		if !ok {
+			rows = append(rows, E11Row{Bug: bug, Err: fmt.Errorf("harness: unknown bug %q", bug)})
+			continue
+		}
+		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
+		for _, w := range workers {
+			row := E11Row{Bug: bug, Workers: w, Err: err}
+			if err != nil {
+				rows = append(rows, row)
+				continue
+			}
+			c := cfg
+			c.Workers = w
+			c.SearchCache = nil
+			ropts := c.replayOptions(bug)
+			var res *core.ReplayResult
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				r := core.Replay(prog, rec, ropts)
+				if ms := float64(time.Since(start)) / float64(time.Millisecond); i == 0 || ms < row.WallMS {
+					row.WallMS = ms
+				}
+				res = r
+			}
+			row.Attempts = res.Attempts
+			row.Reproduced = res.Reproduced
+			warmOpts := ropts
+			warmOpts.Cache = core.NewSearchCache(0)
+			core.Replay(prog, rec, warmOpts) // fill
+			start := time.Now()
+			warm := core.Replay(prog, rec, warmOpts)
+			row.WarmWallMS = float64(time.Since(start)) / float64(time.Millisecond)
+			row.CacheSaved = warm.Stats.CacheHits
 			rows = append(rows, row)
 		}
 	}

@@ -44,6 +44,18 @@ type Config struct {
 	// experiments (E2/E3/E7), which run the *patched* programs on long
 	// production-like workloads. Default 800.
 	OverheadScale int
+	// Workers sizes the replayer's work-stealing attempt pool for every
+	// search the harness runs. 0 keeps the sequential (deterministic)
+	// search.
+	Workers int
+	// AdaptiveWorkers lets each search's pool retune itself between 1
+	// and Workers from the measured dispatch occupancy.
+	AdaptiveWorkers bool
+	// SearchCache, when non-nil, is shared by every replay search the
+	// harness performs: equivalent attempts across searches of the same
+	// recording are answered from memory. Per-recording context digests
+	// in the cache key keep different bugs from cross-talking.
+	SearchCache *core.SearchCache
 	// Metrics, when non-nil, receives metrics from every recording and
 	// replay the harness performs, plus per-experiment wall-time spans.
 	// Nil disables collection at zero cost.
@@ -122,11 +134,14 @@ func (c Config) options(scheme sketch.Scheme, scheduleSeed int64) core.Options {
 // bug's search, wired to the harness's observability sinks.
 func (c Config) replayOptions(bugID string) core.ReplayOptions {
 	return core.ReplayOptions{
-		Feedback:    true,
-		MaxAttempts: c.maxAttempts(),
-		Oracle:      core.MatchBugID(bugID),
-		Metrics:     c.Metrics,
-		Trace:       c.Trace,
+		Feedback:        true,
+		MaxAttempts:     c.maxAttempts(),
+		Oracle:          core.MatchBugID(bugID),
+		Workers:         c.Workers,
+		AdaptiveWorkers: c.AdaptiveWorkers,
+		Cache:           c.SearchCache,
+		Metrics:         c.Metrics,
+		Trace:           c.Trace,
 	}
 }
 

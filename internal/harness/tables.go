@@ -187,14 +187,14 @@ func PrintE7(w io.Writer, rows []E7Row) {
 func PrintE8(w io.Writer, rows []E8Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
-	fmt.Fprintln(tw, "bug\tattempts\tflips\traces seen\tdivergences\tclean runs\treproduced")
+	fmt.Fprintln(tw, "bug\tattempts\tflips\traces seen\tdivergences\tclean runs\treproduced\tcache saved")
 	for _, r := range rows {
 		if r.Err != nil {
-			fmt.Fprintf(tw, "%s\tn/a\t-\t-\t-\t-\t-\n", r.Bug)
+			fmt.Fprintf(tw, "%s\tn/a\t-\t-\t-\t-\t-\t-\n", r.Bug)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
-			r.Bug, r.Attempts, r.Flips, r.RacesSeen, r.Divergences, r.CleanRuns, r.Reproduced)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%v\t%d\n",
+			r.Bug, r.Attempts, r.Flips, r.RacesSeen, r.Divergences, r.CleanRuns, r.Reproduced, r.CacheSaved)
 	}
 }
 
@@ -259,6 +259,37 @@ func PrintE10(w io.Writer, rows []E10Row, cfg Config) {
 			att = fmt.Sprintf(">%d", cfg.maxAttempts())
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Pattern, r.Class, r.Scheme, att)
+	}
+}
+
+// PrintE11 renders the work-stealing scaling sweep: wall-clock per
+// pool size, with speedups quoted against each bug's workers=1 cold
+// search.
+func PrintE11(w io.Writer, rows []E11Row, cfg Config) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "bug\tworkers\tattempts\tcold ms\tspeedup\twarm ms\tcache saved")
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Err == nil && r.Workers == 1 {
+			base[r.Bug] = r.WallMS
+		}
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t%d\tn/a\t-\t-\t-\t-\n", r.Bug, r.Workers)
+			continue
+		}
+		att := fmt.Sprintf("%d", r.Attempts)
+		if !r.Reproduced {
+			att = fmt.Sprintf(">%d", cfg.maxAttempts())
+		}
+		speedup := "-"
+		if b, ok := base[r.Bug]; ok && r.WallMS > 0 {
+			speedup = fmt.Sprintf("%.2fx", b/r.WallMS)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%s\t%.2f\t%d\n",
+			r.Bug, r.Workers, att, r.WallMS, speedup, r.WarmWallMS, r.CacheSaved)
 	}
 }
 

@@ -41,6 +41,9 @@ type AttemptEvent struct {
 	// Divergence is the director's note when the recorded schedule
 	// could no longer be honored; empty otherwise.
 	Divergence string `json:"divergence,omitempty"`
+	// Cached marks an attempt answered by the schedule cache instead of
+	// an execution; its outcome fields reproduce the memoized run.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // RecordEvent is the trace record of one production run (a presrun
@@ -66,6 +69,10 @@ type SummaryEvent struct {
 	Divergences int    `json:"divergences"`
 	CleanRuns   int    `json:"clean_runs"`
 	RacesSeen   int    `json:"races_seen"`
+	// CacheHits/CacheMisses report schedule-cache traffic; both are
+	// omitted when the search ran without a cache.
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
 // TraceSink writes structured events as JSON Lines. It is safe for

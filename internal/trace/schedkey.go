@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file defines the canonical identity of a replay attempt: the
+// flip-set key (which race reversals the attempt enforces, order
+// ignored) and the schedule-cache key (flip set plus the schedule
+// policy plus a digest of everything else that determines the
+// execution — program, sketch prefix, inputs, replay knobs). The
+// replayer's cross-attempt schedule cache and its dedup set are keyed
+// by these strings, so they must be injective: distinct attempts must
+// never share a key, or the search would silently skip live work.
+// FuzzFlipSetKey and FuzzScheduleCacheKey pin that property.
+
+// FlipID names one race flip — "hold thread HoldTID's HoldCount-th
+// access to Addr until thread UntilTID has executed UntilCount
+// operations" — by the coordinates that determine its enforcement.
+type FlipID struct {
+	Addr       uint64
+	HoldTID    TID
+	HoldCount  uint64
+	UntilTID   TID
+	UntilCount uint64
+}
+
+// encode renders a FlipID as a fixed-width hex tuple. Fixed width makes
+// lexicographic string order a total order on the tuples and keeps the
+// encoding injective.
+func (f FlipID) encode() string {
+	return fmt.Sprintf("%016x.%08x.%016x.%08x.%016x",
+		f.Addr, uint32(f.HoldTID), f.HoldCount, uint32(f.UntilTID), f.UntilCount)
+}
+
+// FlipSetKey returns the canonical key of a flip set: the same multiset
+// of flips yields the same key regardless of insertion order, and
+// distinct multisets always yield distinct keys (each flip encodes
+// fixed-width, so sorting and joining cannot merge or split tuples).
+// The empty set's key is the empty string.
+func FlipSetKey(flips []FlipID) string {
+	if len(flips) == 0 {
+		return ""
+	}
+	enc := make([]string, len(flips))
+	for i, f := range flips {
+		enc[i] = f.encode()
+	}
+	sort.Strings(enc)
+	n := len(enc) - 1
+	for _, s := range enc {
+		n += len(s)
+	}
+	b := make([]byte, 0, n)
+	for i, s := range enc {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// ScheduleCacheKey is the full identity of one replay attempt:
+//
+//   - ctx digests the search context — program, scheme, sketch prefix,
+//     input log, world seed and every replay knob that changes what an
+//     attempt executes (build it with Digest);
+//   - seeded/seed identify the exploration policy: seeded attempts
+//     sample the sketch-constrained space with that RNG seed, unseeded
+//     ones run the deterministic sticky policy (seed is ignored, so two
+//     unseeded attempts differ only by flip set);
+//   - flipKey is the FlipSetKey of the enforced flips.
+//
+// Two attempts share a key iff they are the same execution, so a cache
+// hit can stand in for actually running the attempt.
+func ScheduleCacheKey(ctx uint64, seed int64, seeded bool, flipKey string) string {
+	policy := "det"
+	if seeded {
+		policy = fmt.Sprintf("%016x", uint64(seed))
+	}
+	return fmt.Sprintf("%016x/%s/%s", ctx, policy, flipKey)
+}
+
+// Digest accumulates an FNV-1a 64-bit hash over the components of a
+// search context. It is not cryptographic — it only needs to make
+// unrelated searches vanishingly unlikely to collide in the schedule
+// cache, where a collision costs a wrong-but-complete attempt outcome.
+type Digest struct{ h uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewDigest returns a digest in its initial state.
+func NewDigest() *Digest { return &Digest{h: fnvOffset64} }
+
+// Word mixes one 64-bit value.
+func (d *Digest) Word(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= fnvPrime64
+		v >>= 8
+	}
+}
+
+// Int mixes one signed value.
+func (d *Digest) Int(v int64) { d.Word(uint64(v)) }
+
+// String mixes a length-prefixed string (the prefix keeps "ab","c"
+// distinct from "a","bc").
+func (d *Digest) String(s string) {
+	d.Word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= fnvPrime64
+	}
+}
+
+// Bytes mixes a length-prefixed byte slice.
+func (d *Digest) Bytes(b []byte) {
+	d.Word(uint64(len(b)))
+	for _, c := range b {
+		d.h ^= uint64(c)
+		d.h *= fnvPrime64
+	}
+}
+
+// Entry mixes one sketch entry.
+func (d *Digest) Entry(e SketchEntry) {
+	d.Word(uint64(uint32(e.TID)))
+	d.Word(uint64(e.Kind))
+	d.Word(e.Obj)
+}
+
+// Input mixes one input record.
+func (d *Digest) Input(r InputRecord) {
+	d.Word(uint64(uint32(r.TID)))
+	d.Word(r.Call)
+	d.Bytes(r.Data)
+}
+
+// Sum returns the accumulated hash.
+func (d *Digest) Sum() uint64 { return d.h }
