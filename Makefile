@@ -20,11 +20,13 @@ vet:
 test:
 	$(GO) test ./...
 
-## stress: the work-stealing search's concurrency gate — the core
-## package twice under -race, so the dedup/commit/cache paths get
-## different goroutine schedules on each pass.
+## stress: the concurrency gate — the work-stealing search (core) and
+## the experiment cell pool (harness) twice under -race, so the
+## dedup/commit/cache/dispatch paths get different goroutine schedules
+## on each pass.
 stress:
 	$(GO) test -race -count=2 ./internal/core/...
+	$(GO) test -race -count=2 -run 'TestPool|TestJobs|TestMetricsDeterministic' ./internal/harness/...
 
 ## fuzz-short: run every native fuzz target in internal/trace for
 ## FUZZTIME each (the canonical-key collision-freedom targets plus the
@@ -37,6 +39,11 @@ fuzz-short:
 
 ## bench: substrate micro-benchmarks, including the observability
 ## overhead pairs (SchedulingPointMetricsOff/On, ReplaySearchMetricsOff/On)
-## that back OBSERVABILITY.md's disabled-means-free claim.
+## that back OBSERVABILITY.md's disabled-means-free claim, and the
+## wire-format/harness-pool benches (BenchmarkEncodeSketch*,
+## BenchmarkHarnessMatrix*). presperf distills the PR's headline
+## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2, and
+## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS — into BENCH_pr3.json.
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1s .
+	$(GO) run ./cmd/presperf -out BENCH_pr3.json

@@ -7,6 +7,7 @@
 //	presbench                 # all experiments
 //	presbench -exp e1         # one experiment
 //	presbench -exp e1 -schemes SYNC,SYS -procs 8
+//	presbench -j 1            # sequential cells (same tables, slower)
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	seedBudget := flag.Int("seed-budget", 2000, "production seeds to search per bug")
 	overheadScale := flag.Int("overhead-scale", 800, "workload scale for overhead/log-size runs")
 	replays := flag.Int("e6-replays", 100, "re-replays per bug in E6")
+	jobs := flag.Int("j", 0, "experiment cells run in parallel (0 = GOMAXPROCS, 1 = sequential; tables are identical at any value)")
 	workers := flag.Int("workers", 0, "work-stealing attempt workers per replay search (0 = sequential)")
 	adaptive := flag.Bool("adaptive", false, "let each search's worker pool retune itself from occupancy")
 	cacheSize := flag.Int("search-cache", 0, "shared schedule-cache capacity in attempts (0 disables, -1 = default size)")
@@ -53,6 +55,7 @@ func main() {
 		MaxAttempts:     *budget,
 		SeedBudget:      *seedBudget,
 		OverheadScale:   *overheadScale,
+		Jobs:            *jobs,
 		Workers:         *workers,
 		AdaptiveWorkers: *adaptive,
 	}

@@ -1,0 +1,193 @@
+// Presperf measures the two performance claims of the parallel-harness
+// / wire-format-v2 work and writes them to a JSON file (BENCH_pr3.json
+// via the Makefile bench target):
+//
+//  1. sketch-encoder density and speed per scheme, v1 vs v2, on a real
+//     recorded mysqld production run;
+//  2. experiment-matrix wall-clock (E2 and E8) at -j 1 vs -j
+//     GOMAXPROCS, with a byte-identity check on the rendered tables.
+//
+// Usage:
+//
+//	presperf -out BENCH_pr3.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+type encodeResult struct {
+	Scheme          string  `json:"scheme"`
+	Entries         int     `json:"entries"`
+	V1Bytes         int     `json:"v1_bytes"`
+	V2Bytes         int     `json:"v2_bytes"`
+	V1BytesPerEntry float64 `json:"v1_bytes_per_entry"`
+	V2BytesPerEntry float64 `json:"v2_bytes_per_entry"`
+	SavingPct       float64 `json:"saving_pct"`
+	V1NsPerEntry    float64 `json:"v1_ns_per_entry"`
+	V2NsPerEntry    float64 `json:"v2_ns_per_entry"`
+}
+
+type harnessResult struct {
+	Exp             string  `json:"exp"`
+	Jobs            int     `json:"jobs"`
+	J1Millis        float64 `json:"j1_ms"`
+	JMaxMillis      float64 `json:"jmax_ms"`
+	Speedup         float64 `json:"speedup"`
+	TablesIdentical bool    `json:"tables_identical"`
+}
+
+type report struct {
+	Tool       string          `json:"tool"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Encode     []encodeResult  `json:"encode"`
+	Harness    []harnessResult `json:"harness"`
+}
+
+// countWriter measures encoded size without retaining bytes.
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presperf: ")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	scale := flag.Int("scale", 400, "workload scale for the recorded run")
+	overheadScale := flag.Int("overhead-scale", 150, "workload scale for the harness matrix timing")
+	reps := flag.Int("reps", 3, "timing repetitions (best-of)")
+	flag.Parse()
+
+	rep := report{Tool: "presperf", GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	prog, ok := apps.Get("mysqld")
+	if !ok {
+		log.Fatal("mysqld not in corpus")
+	}
+	for _, s := range []sketch.Scheme{sketch.SYNC, sketch.SYS, sketch.FUNC, sketch.BB, sketch.RW} {
+		rec := core.Record(prog, core.Options{
+			Scheme:       s,
+			Processors:   4,
+			ScheduleSeed: 1,
+			WorldSeed:    1,
+			Scale:        *scale,
+			MaxSteps:     5_000_000,
+			FixBugs:      true,
+		})
+		l := rec.Sketch
+		if l.Len() == 0 {
+			log.Fatalf("%v sketch empty", s)
+		}
+		r := encodeResult{Scheme: s.String(), Entries: l.Len()}
+		var cw countWriter
+		if err := trace.EncodeSketchV1(&cw, l); err != nil {
+			log.Fatal(err)
+		}
+		r.V1Bytes = cw.n
+		cw.n = 0
+		if err := trace.EncodeSketch(&cw, l); err != nil {
+			log.Fatal(err)
+		}
+		r.V2Bytes = cw.n
+		r.V1BytesPerEntry = float64(r.V1Bytes) / float64(r.Entries)
+		r.V2BytesPerEntry = float64(r.V2Bytes) / float64(r.Entries)
+		r.SavingPct = 100 * (1 - float64(r.V2Bytes)/float64(r.V1Bytes))
+		r.V1NsPerEntry = timeEncode(l, trace.EncodeSketchV1)
+		r.V2NsPerEntry = timeEncode(l, trace.EncodeSketch)
+		rep.Encode = append(rep.Encode, r)
+		fmt.Printf("encode %-5s %7d entries  v1 %.2f B/e  v2 %.2f B/e  (-%.0f%%)  %.1f -> %.1f ns/e\n",
+			s, r.Entries, r.V1BytesPerEntry, r.V2BytesPerEntry, r.SavingPct, r.V1NsPerEntry, r.V2NsPerEntry)
+	}
+
+	cfg := harness.Config{SeedBudget: 2000, MaxAttempts: 1000, OverheadScale: *overheadScale}
+	rep.Harness = append(rep.Harness,
+		timeMatrix("e2", cfg, *reps, func(c harness.Config) []byte {
+			var buf bytes.Buffer
+			harness.PrintE2(&buf, harness.RunE2(nil, c))
+			return buf.Bytes()
+		}),
+		timeMatrix("e8", cfg, *reps, func(c harness.Config) []byte {
+			var buf bytes.Buffer
+			harness.PrintE8(&buf, harness.RunE8(c))
+			return buf.Bytes()
+		}),
+	)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// timeEncode returns best-of-5 ns/entry for one encoder on one log.
+func timeEncode(l *trace.SketchLog, enc func(io.Writer, *trace.SketchLog) error) float64 {
+	best := 0.0
+	for i := 0; i < 5; i++ {
+		var cw countWriter
+		start := time.Now()
+		if err := enc(&cw, l); err != nil {
+			log.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(l.Len()); i == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// timeMatrix times one experiment's full matrix at -j 1 and
+// -j GOMAXPROCS (best-of-reps each) and checks the rendered tables
+// are byte-identical.
+func timeMatrix(exp string, cfg harness.Config, reps int, run func(harness.Config) []byte) harnessResult {
+	r := harnessResult{Exp: exp, Jobs: runtime.GOMAXPROCS(0)}
+	var seqTable, parTable []byte
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Jobs = 1
+		start := time.Now()
+		seqTable = run(c)
+		if ms := float64(time.Since(start)) / float64(time.Millisecond); i == 0 || ms < r.J1Millis {
+			r.J1Millis = ms
+		}
+	}
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Jobs = r.Jobs
+		start := time.Now()
+		parTable = run(c)
+		if ms := float64(time.Since(start)) / float64(time.Millisecond); i == 0 || ms < r.JMaxMillis {
+			r.JMaxMillis = ms
+		}
+	}
+	r.Speedup = r.J1Millis / r.JMaxMillis
+	r.TablesIdentical = bytes.Equal(seqTable, parTable)
+	fmt.Printf("harness %s  -j1 %.0f ms  -j%d %.0f ms  speedup %.2fx  identical=%v\n",
+		r.Exp, r.J1Millis, r.Jobs, r.JMaxMillis, r.Speedup, r.TablesIdentical)
+	return r
+}

@@ -1,0 +1,164 @@
+// Benchmarks for the allocation-lean recording pipeline (PR: sketch
+// wire format v2): encoder throughput and density per scheme in both
+// wire versions, the streaming Recording.Write path, and the harness
+// cell-pool's matrix wall-clock at -j 1 vs -j GOMAXPROCS. cmd/presperf
+// distills the same measurements into BENCH_pr3.json.
+package repro_test
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// discardCounter counts encoded bytes without retaining them, like the
+// recording pipeline's own size pre-pass.
+type discardCounter struct{ n int }
+
+func (w *discardCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// benchRecording records mysqld's production workload once per scheme
+// — the corpus's densest sketches — and is shared across benchmarks.
+var benchRecordings = map[sketch.Scheme]*core.Recording{}
+
+func benchRecording(b *testing.B, s sketch.Scheme) *core.Recording {
+	b.Helper()
+	if rec, ok := benchRecordings[s]; ok {
+		return rec
+	}
+	prog, ok := apps.Get("mysqld")
+	if !ok {
+		b.Fatal("mysqld not in corpus")
+	}
+	rec := core.Record(prog, core.Options{
+		Scheme:       s,
+		Processors:   4,
+		ScheduleSeed: 1,
+		WorldSeed:    1,
+		Scale:        400,
+		MaxSteps:     5_000_000,
+		FixBugs:      true,
+	})
+	if rec.Sketch.Len() == 0 && s != sketch.BASE {
+		b.Fatalf("%v sketch empty", s)
+	}
+	benchRecordings[s] = rec
+	return rec
+}
+
+// BenchmarkEncodeSketch measures both wire versions of the sketch
+// codec on real recorded logs: ns/entry is encoder speed, bytes/entry
+// the density the log-size experiment (E3) reports. The acceptance
+// bar for this PR: SYNC bytes/entry drops >=30% from v1 to v2.
+func BenchmarkEncodeSketch(b *testing.B) {
+	for _, s := range []sketch.Scheme{sketch.SYNC, sketch.SYS, sketch.FUNC, sketch.BB, sketch.RW} {
+		l := benchRecording(b, s).Sketch
+		for name, enc := range map[string]func(io.Writer, *trace.SketchLog) error{
+			"v1": trace.EncodeSketchV1, "v2": trace.EncodeSketch,
+		} {
+			b.Run(s.String()+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				var size int
+				for i := 0; i < b.N; i++ {
+					var cw discardCounter
+					if err := enc(&cw, l); err != nil {
+						b.Fatal(err)
+					}
+					size = cw.n
+				}
+				entries := float64(l.Len())
+				b.ReportMetric(float64(size)/entries, "bytes/entry")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*entries), "ns/entry")
+			})
+		}
+	}
+}
+
+// BenchmarkEncodeInput measures the input-log codec both ways on the
+// same production run.
+func BenchmarkEncodeInput(b *testing.B) {
+	l := benchRecording(b, sketch.SYNC).Inputs
+	for name, enc := range map[string]func(io.Writer, *trace.InputLog) error{
+		"v1": trace.EncodeInputV1, "v2": trace.EncodeInput,
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				var cw discardCounter
+				if err := enc(&cw, l); err != nil {
+					b.Fatal(err)
+				}
+				size = cw.n
+			}
+			b.ReportMetric(float64(size)/float64(max(l.Len(), 1)), "bytes/record")
+		})
+	}
+}
+
+// BenchmarkRecordingWrite measures the full serialization path —
+// counting pre-pass plus streaming encode — which no longer buffers
+// the encoded sections in memory.
+func BenchmarkRecordingWrite(b *testing.B) {
+	rec := benchRecording(b, sketch.SYNC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := rec.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeSketch measures both decoder paths on the same log.
+func BenchmarkDecodeSketch(b *testing.B) {
+	l := benchRecording(b, sketch.SYNC).Sketch
+	for name, enc := range map[string]func(io.Writer, *trace.SketchLog) error{
+		"v1": trace.EncodeSketchV1, "v2": trace.EncodeSketch,
+	} {
+		var buf bytes.Buffer
+		if err := enc(&buf, l); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.DecodeSketch(bytes.NewReader(buf.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessMatrix times the E2 overhead matrix through the
+// experiment cell pool at -j 1 (sequential baseline) and
+// -j GOMAXPROCS. The tables are byte-identical (TestJobsDeterminism);
+// only the wall-clock should move.
+func BenchmarkHarnessMatrix(b *testing.B) {
+	cfg := harness.Config{SeedBudget: 2000, MaxAttempts: 1000, OverheadScale: 150}
+	for _, tc := range []struct {
+		name string
+		jobs int
+	}{{"j1", 1}, {"jmax", runtime.GOMAXPROCS(0)}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := cfg
+			c.Jobs = tc.jobs
+			for i := 0; i < b.N; i++ {
+				rows := harness.RunE2(nil, c)
+				if len(rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}

@@ -87,22 +87,35 @@ func (r *Recording) LogBytes() int {
 	return sketch.EncodedSize(r.Sketch) + sketch.InputEncodedSize(r.Inputs)
 }
 
+// countingWriter measures encoded bytes without retaining them.
+type countingWriter struct{ n uint64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += uint64(len(p))
+	return len(p), nil
+}
+
 // Write serializes the recording's logs (sketch, then inputs). Each
 // section is length-prefixed so the reader can split them without the
-// decoders' internal buffering over-reading across the boundary.
+// decoders' internal buffering over-reading across the boundary. The
+// prefix comes from a counting pre-pass — the encoders are
+// deterministic, so sizing is just encoding into a byte counter — and
+// the section then streams straight to w, so a large RW recording is
+// never held in memory a second time.
 func (r *Recording) Write(w io.Writer) error {
+	var lead [binary.MaxVarintLen64]byte
 	for _, enc := range []func(io.Writer) error{
 		func(w io.Writer) error { return trace.EncodeSketch(w, r.Sketch) },
 		func(w io.Writer) error { return trace.EncodeInput(w, r.Inputs) },
 	} {
-		var buf bytes.Buffer
-		if err := enc(&buf); err != nil {
+		var cw countingWriter
+		if err := enc(&cw); err != nil {
 			return err
 		}
-		if _, err := w.Write(binary.AppendUvarint(nil, uint64(buf.Len()))); err != nil {
+		if _, err := w.Write(lead[:binary.PutUvarint(lead[:], cw.n)]); err != nil {
 			return err
 		}
-		if _, err := w.Write(buf.Bytes()); err != nil {
+		if err := enc(w); err != nil {
 			return err
 		}
 	}
@@ -185,7 +198,13 @@ func Record(prog *appkit.Program, opts Options) *Recording {
 		m.Counter("pres_record_runs_total", "scheme", scheme).Inc()
 		m.Counter("pres_record_steps_total", "scheme", scheme).Add(res.Steps)
 		m.Counter("pres_record_sketch_entries_total", "scheme", scheme).Add(uint64(out.Sketch.Len()))
-		m.Counter("pres_record_log_bytes_total", "scheme", scheme).Add(uint64(out.LogBytes()))
+		// LogBytes is a counting encode of both logs, so the span is the
+		// run's real serialization cost (see pres_record_encode_seconds
+		// in OBSERVABILITY.md).
+		sp := m.Timer("pres_record_encode_seconds", "scheme", scheme).Start()
+		logBytes := out.LogBytes()
+		sp.Stop()
+		m.Counter("pres_record_log_bytes_total", "scheme", scheme).Add(uint64(logBytes))
 		m.Gauge("pres_record_overhead_ratio", "scheme", scheme).Set(res.Overhead())
 	}
 	return out

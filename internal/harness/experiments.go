@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/appkit"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/patterns"
@@ -24,19 +25,18 @@ type E1Row struct {
 }
 
 // RunE1 reproduces every corpus bug under each given scheme (the
-// paper's headline table). Pass nil schemes for the full set.
+// paper's headline table). Pass nil schemes for the full set. Cells
+// fan out to cfg's pool; rows come back in canonical (bug, scheme)
+// order regardless of Jobs.
 func RunE1(schemes []sketch.Scheme, cfg Config) []E1Row {
 	defer cfg.timeExperiment("e1")()
 	if schemes == nil {
 		schemes = sketch.All()
 	}
-	var rows []E1Row
-	for _, b := range apps.AllBugs() {
-		for _, s := range schemes {
-			rows = append(rows, runE1Cell(b, s, cfg))
-		}
-	}
-	return rows
+	bugs := apps.AllBugs()
+	return runCells(cfg, "e1", len(bugs)*len(schemes), func(i int) E1Row {
+		return runE1Cell(bugs[i/len(schemes)], schemes[i%len(schemes)], cfg)
+	})
 }
 
 func runE1Cell(b apps.BugInfo, s sketch.Scheme, cfg Config) E1Row {
@@ -81,22 +81,20 @@ func RunE2(schemes []sketch.Scheme, cfg Config) []E2Row {
 	if schemes == nil {
 		schemes = sketch.All()
 	}
-	var rows []E2Row
-	for _, p := range apps.All() {
-		for _, s := range schemes {
-			row := E2Row{App: p.Name, Category: p.Category, Scheme: s}
-			rec := core.Record(p, cfg.overheadOptions(s, 1))
-			if f := rec.Result.Failure; f != nil {
-				row.Err = f
-			} else {
-				row.Overhead = rec.Result.Overhead()
-				row.Entries = rec.Sketch.Len()
-				row.TotalOps = rec.Sketch.TotalOps
-			}
-			rows = append(rows, row)
+	progs := apps.All()
+	return runCells(cfg, "e2", len(progs)*len(schemes), func(i int) E2Row {
+		p, s := progs[i/len(schemes)], schemes[i%len(schemes)]
+		row := E2Row{App: p.Name, Category: p.Category, Scheme: s}
+		rec := core.Record(p, cfg.overheadOptions(s, 1))
+		if f := rec.Result.Failure; f != nil {
+			row.Err = f
+		} else {
+			row.Overhead = rec.Result.Overhead()
+			row.Entries = rec.Sketch.Len()
+			row.TotalOps = rec.Sketch.TotalOps
 		}
-	}
-	return rows
+		return row
+	})
 }
 
 // E3Row is one cell of the log-size table.
@@ -120,24 +118,22 @@ func RunE3(schemes []sketch.Scheme, cfg Config) []E3Row {
 	if schemes == nil {
 		schemes = sketch.All()
 	}
-	var rows []E3Row
-	for _, p := range apps.All() {
-		for _, s := range schemes {
-			row := E3Row{App: p.Name, Scheme: s}
-			rec := core.Record(p, cfg.overheadOptions(s, 1))
-			if f := rec.Result.Failure; f != nil {
-				row.Err = f
-			} else {
-				row.SketchBytes = sketch.EncodedSize(rec.Sketch)
-				row.InputBytes = sketch.InputEncodedSize(rec.Inputs)
-				if rec.Sketch.TotalOps > 0 {
-					row.BytesPerKop = float64(row.SketchBytes) * 1000 / float64(rec.Sketch.TotalOps)
-				}
+	progs := apps.All()
+	return runCells(cfg, "e3", len(progs)*len(schemes), func(i int) E3Row {
+		p, s := progs[i/len(schemes)], schemes[i%len(schemes)]
+		row := E3Row{App: p.Name, Scheme: s}
+		rec := core.Record(p, cfg.overheadOptions(s, 1))
+		if f := rec.Result.Failure; f != nil {
+			row.Err = f
+		} else {
+			row.SketchBytes = sketch.EncodedSize(rec.Sketch)
+			row.InputBytes = sketch.InputEncodedSize(rec.Inputs)
+			if rec.Sketch.TotalOps > 0 {
+				row.BytesPerKop = float64(row.SketchBytes) * 1000 / float64(rec.Sketch.TotalOps)
 			}
-			rows = append(rows, row)
 		}
-	}
-	return rows
+		return row
+	})
 }
 
 // E4Row is one cell of the scalability figure: overhead and attempts at
@@ -168,28 +164,25 @@ func RunE4(procs []int, bugs []string, cfg Config) []E4Row {
 	if bugs == nil {
 		bugs = E4Bugs
 	}
-	var rows []E4Row
-	for _, p := range procs {
+	return runCells(cfg, "e4", len(procs)*len(bugs), func(i int) E4Row {
 		c := cfg
-		c.Processors = p
-		for _, bug := range bugs {
-			row := E4Row{Procs: p, Bug: bug, Scheme: sketch.SYNC}
-			_, res, err := ReproduceBug(bug, sketch.SYNC, c)
-			if err != nil {
-				row.Err = err
-			} else {
-				// Overhead is a production metric: measure it on the
-				// app's long patched workload at this processor count.
-				prog, _ := apps.ProgramForBug(bug)
-				prod := core.Record(prog, c.overheadOptions(sketch.SYNC, 1))
-				row.Overhead = prod.Result.Overhead()
-				row.Attempts = res.Attempts
-				row.Repro = res.Reproduced
-			}
-			rows = append(rows, row)
+		c.Processors = procs[i/len(bugs)]
+		bug := bugs[i%len(bugs)]
+		row := E4Row{Procs: c.Processors, Bug: bug, Scheme: sketch.SYNC}
+		_, res, err := ReproduceBug(bug, sketch.SYNC, c)
+		if err != nil {
+			row.Err = err
+		} else {
+			// Overhead is a production metric: measure it on the
+			// app's long patched workload at this processor count.
+			prog, _ := apps.ProgramForBug(bug)
+			prod := core.Record(prog, c.overheadOptions(sketch.SYNC, 1))
+			row.Overhead = prod.Result.Overhead()
+			row.Attempts = res.Attempts
+			row.Repro = res.Reproduced
 		}
-	}
-	return rows
+		return row
+	})
 }
 
 // E5Row is one cell of the feedback-ablation figure.
@@ -212,15 +205,14 @@ func RunE5(bugs []string, cfg Config) []E5Row {
 			bugs = append(bugs, b.ID)
 		}
 	}
-	var rows []E5Row
-	for _, bug := range bugs {
+	return runCells(cfg, "e5", len(bugs), func(i int) E5Row {
+		bug := bugs[i]
 		row := E5Row{Bug: bug}
 		prog, _ := apps.ProgramForBug(bug)
 		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
 		if err != nil {
 			row.Err = err
-			rows = append(rows, row)
-			continue
+			return row
 		}
 		with := core.Replay(prog, rec, cfg.replayOptions(bug))
 		noFB := cfg.replayOptions(bug)
@@ -228,9 +220,8 @@ func RunE5(bugs []string, cfg Config) []E5Row {
 		without := core.Replay(prog, rec, noFB)
 		row.WithFeedback, row.WithFeedbackOK = with.Attempts, with.Reproduced
 		row.WithoutFeedback, row.WithoutFeedbackOK = without.Attempts, without.Reproduced
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // E6Row is one row of the reproduce-every-time check.
@@ -255,33 +246,30 @@ func RunE6(bugs []string, n int, cfg Config) []E6Row {
 	if n <= 0 {
 		n = 100
 	}
-	var rows []E6Row
-	for _, bug := range bugs {
+	return runCells(cfg, "e6", len(bugs), func(i int) E6Row {
+		bug := bugs[i]
 		row := E6Row{Bug: bug, Replays: n}
 		prog, _ := apps.ProgramForBug(bug)
 		rec, res, err := ReproduceBug(bug, sketch.SYNC, cfg)
 		if err != nil {
 			row.Err = err
-			rows = append(rows, row)
-			continue
+			return row
 		}
 		row.Attempts = res.Attempts
 		if !res.Reproduced {
-			rows = append(rows, row)
-			continue
+			return row
 		}
 		row.AllRepro = true
 		oracle := core.MatchBugID(bug)
-		for i := 0; i < n; i++ {
+		for r := 0; r < n; r++ {
 			out := core.Reproduce(prog, rec, res.Order)
 			if out.Failure == nil || !out.Failure.IsBug() || !oracle(out.Failure) {
 				row.AllRepro = false
 				break
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // E7Row is one row of the overhead-reduction headline: how many times
@@ -341,20 +329,19 @@ type E8Row struct {
 // how many of its executions the cache absorbed.
 func RunE8(cfg Config) []E8Row {
 	defer cfg.timeExperiment("e8")()
-	var rows []E8Row
-	for _, b := range apps.AllBugs() {
+	bugs := apps.AllBugs()
+	return runCells(cfg, "e8", len(bugs), func(i int) E8Row {
+		b := bugs[i]
 		row := E8Row{Bug: b.ID}
 		prog, ok := apps.ProgramForBug(b.ID)
 		if !ok {
 			row.Err = fmt.Errorf("harness: unknown bug %q", b.ID)
-			rows = append(rows, row)
-			continue
+			return row
 		}
 		_, rec, err := FindBuggySeed(prog, b.ID, sketch.SYNC, cfg)
 		if err != nil {
 			row.Err = err
-			rows = append(rows, row)
-			continue
+			return row
 		}
 		c := cfg
 		if c.SearchCache == nil {
@@ -369,9 +356,8 @@ func RunE8(cfg Config) []E8Row {
 		row.Reproduced = res.Reproduced
 		warm := core.Replay(prog, rec, c.replayOptions(b.ID))
 		row.CacheSaved = warm.Stats.CacheHits
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // E9Row is one cell of the sketch-truncation experiment (an extension
@@ -397,10 +383,14 @@ func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
 	if fractions == nil {
 		fractions = []int{100, 50, 25, 10}
 	}
-	var rows []E9Row
-	for _, bug := range bugs {
+	// The cell is the bug, not the (bug, fraction) pair: every fraction
+	// replays the same recording, so splitting them would repeat the
+	// seed search per fraction.
+	perBug := runCells(cfg, "e9", len(bugs), func(i int) []E9Row {
+		bug := bugs[i]
 		prog, _ := apps.ProgramForBug(bug)
 		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
+		out := make([]E9Row, 0, len(fractions))
 		for _, pct := range fractions {
 			row := E9Row{Bug: bug, Retained: pct, Err: err}
 			if err == nil {
@@ -414,8 +404,13 @@ func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
 				row.Attempts = res.Attempts
 				row.Reproduced = res.Reproduced
 			}
-			rows = append(rows, row)
+			out = append(out, row)
 		}
+		return out
+	})
+	var rows []E9Row
+	for _, r := range perBug {
+		rows = append(rows, r...)
 	}
 	return rows
 }
@@ -440,44 +435,42 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 	if schemes == nil {
 		schemes = []sketch.Scheme{sketch.SYNC, sketch.RW}
 	}
-	var rows []E10Row
-	for _, p := range patterns.All() {
+	pats := patterns.All()
+	return runCells(cfg, "e10", len(pats)*len(schemes), func(i int) E10Row {
+		p, s := pats[i/len(schemes)], schemes[i%len(schemes)]
+		// Build per cell: each worker gets its own program value.
 		prog := p.Build()
 		oracle := core.MatchBugID(p.BugID)
-		for _, s := range schemes {
-			row := E10Row{Pattern: p.Name, Class: p.Class, Scheme: s}
-			var rec *core.Recording
-			for _, procs := range []int{4, 1, 2} {
-				for seed := int64(0); seed < int64(cfg.seedBudget()) && rec == nil; seed++ {
-					r := core.Record(prog, core.Options{
-						Scheme:       s,
-						Processors:   procs,
-						Preempt:      0.05,
-						ScheduleSeed: seed,
-						WorldSeed:    cfg.worldSeed(),
-						MaxSteps:     cfg.maxSteps(),
-						Metrics:      cfg.Metrics,
-					})
-					if f := r.BugFailure(); f != nil && oracle(f) {
-						rec = r
-					}
-				}
-				if rec != nil {
-					break
+		row := E10Row{Pattern: p.Name, Class: p.Class, Scheme: s}
+		var rec *core.Recording
+		for _, procs := range []int{4, 1, 2} {
+			for seed := int64(0); seed < int64(cfg.seedBudget()) && rec == nil; seed++ {
+				r := core.Record(prog, core.Options{
+					Scheme:       s,
+					Processors:   procs,
+					Preempt:      0.05,
+					ScheduleSeed: seed,
+					WorldSeed:    cfg.worldSeed(),
+					MaxSteps:     cfg.maxSteps(),
+					Metrics:      cfg.Metrics,
+				})
+				if f := r.BugFailure(); f != nil && oracle(f) {
+					rec = r
 				}
 			}
-			if rec == nil {
-				row.Err = fmt.Errorf("pattern %s never manifested", p.Name)
-				rows = append(rows, row)
-				continue
+			if rec != nil {
+				break
 			}
-			res := core.Replay(prog, rec, cfg.replayOptions(p.BugID))
-			row.Attempts = res.Attempts
-			row.Reproduced = res.Reproduced
-			rows = append(rows, row)
 		}
-	}
-	return rows
+		if rec == nil {
+			row.Err = fmt.Errorf("pattern %s never manifested", p.Name)
+			return row
+		}
+		res := core.Replay(prog, rec, cfg.replayOptions(p.BugID))
+		row.Attempts = res.Attempts
+		row.Reproduced = res.Reproduced
+		return row
+	})
 }
 
 // E11Row is one cell of the work-stealing-search scaling experiment (an
@@ -507,6 +500,11 @@ var E11Bugs = []string{"mysql-169", "lu-atomicity"}
 // 3, no cache) and warm wall-clock (a fresh cache filled by one run,
 // then timed). Workers=1 is the sequential baseline the speedups in
 // EXPERIMENTS.md are quoted against.
+//
+// Only the per-bug preparation (seed search + recording) runs on cfg's
+// pool; the timed sweeps themselves are always sequential, because
+// concurrent cells would contend for cores and corrupt the very
+// wall-clock scaling the experiment measures.
 func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
 	defer cfg.timeExperiment("e11")()
 	if bugs == nil {
@@ -515,14 +513,26 @@ func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
 	if workers == nil {
 		workers = []int{1, 2, 4, 8}
 	}
-	var rows []E11Row
-	for _, bug := range bugs {
-		prog, ok := apps.ProgramForBug(bug)
+	type e11Prep struct {
+		prog *appkit.Program
+		rec  *core.Recording
+		err  error
+	}
+	preps := runCells(cfg, "e11", len(bugs), func(i int) e11Prep {
+		prog, ok := apps.ProgramForBug(bugs[i])
 		if !ok {
-			rows = append(rows, E11Row{Bug: bug, Err: fmt.Errorf("harness: unknown bug %q", bug)})
+			return e11Prep{err: fmt.Errorf("harness: unknown bug %q", bugs[i])}
+		}
+		_, rec, err := FindBuggySeed(prog, bugs[i], sketch.SYNC, cfg)
+		return e11Prep{prog: prog, rec: rec, err: err}
+	})
+	var rows []E11Row
+	for bi, bug := range bugs {
+		prog, rec, err := preps[bi].prog, preps[bi].rec, preps[bi].err
+		if prog == nil {
+			rows = append(rows, E11Row{Bug: bug, Err: err})
 			continue
 		}
-		_, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
 		for _, w := range workers {
 			row := E11Row{Bug: bug, Workers: w, Err: err}
 			if err != nil {

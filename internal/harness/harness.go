@@ -2,7 +2,10 @@
 // seeds for runs that manifest each corpus bug, measures recording
 // overhead and log sizes for every sketching mechanism, counts replay
 // attempts to reproduction, and renders the tables and figures of
-// EXPERIMENTS.md (experiments E1-E10 in DESIGN.md).
+// EXPERIMENTS.md (experiments E1-E11 in DESIGN.md). Experiment
+// matrices fan their independent cells out to a worker pool
+// (Config.Jobs, presbench -j) whose results commit in canonical cell
+// order, so the rendered tables are byte-identical at any -j.
 //
 // When Config.Metrics is set, every recording and replay the harness
 // performs feeds the shared registry, and each experiment stamps its
@@ -16,6 +19,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/appkit"
 	"repro/internal/apps"
@@ -44,6 +48,14 @@ type Config struct {
 	// experiments (E2/E3/E7), which run the *patched* programs on long
 	// production-like workloads. Default 800.
 	OverheadScale int
+	// Jobs is the harness's own cell-level parallelism (presbench -j):
+	// experiment matrices fan their independent (app, scheme, bug,
+	// procs) cells out to this many workers, committing results in
+	// canonical cell order so tables are byte-identical at any value.
+	// 0 means GOMAXPROCS; 1 runs cells sequentially. When Trace is set
+	// the harness forces sequential cells so the JSONL event stream
+	// keeps its documented canonical order.
+	Jobs int
 	// Workers sizes the replayer's work-stealing attempt pool for every
 	// search the harness runs. 0 keeps the sequential (deterministic)
 	// search.
@@ -70,6 +82,18 @@ func (c Config) processors() int {
 		return 4
 	}
 	return c.Processors
+}
+
+func (c Config) jobs() int {
+	if c.Trace != nil {
+		// Cross-cell trace events have no canonical interleaving; keep
+		// the stream deterministic rather than fast.
+		return 1
+	}
+	if c.Jobs == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return max(c.Jobs, 1)
 }
 
 func (c Config) worldSeed() int64 {

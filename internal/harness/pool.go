@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool fans independent experiment cells out to a fixed set of
+// workers. The experiment matrices (app x scheme, bug x procs, ...)
+// are embarrassingly parallel: every cell derives its seeds from its
+// own identity (bug id, scheme, processor count), never from worker
+// identity or arrival order, so a pool run measures the exact same
+// trajectories a sequential run would — results are committed into
+// canonical cell order and the regenerated tables are byte-identical
+// at any worker count.
+type Pool struct {
+	workers int
+	cells   *obs.Counter // pres_harness_cells_total{exp}
+	active  *obs.Gauge   // pres_harness_workers_active
+}
+
+// NewPool returns a pool of the given width reporting to m (nil m
+// disables metrics at zero cost). Width < 1 means sequential.
+func NewPool(workers int, exp string, m *obs.Registry) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{
+		workers: workers,
+		cells:   m.Counter("pres_harness_cells_total", "exp", exp),
+		active:  m.Gauge("pres_harness_workers_active"),
+	}
+}
+
+// Run executes cell(0..n-1), fanning the indices out to the pool's
+// workers. Each cell must write only to its own result slot; Run
+// returns once every cell has finished.
+func (p *Pool) Run(n int, cell func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := min(p.workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			cell(i)
+			p.cells.Inc()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.active.Add(1)
+			defer p.active.Add(-1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cell(i)
+				p.cells.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runCells evaluates n independent experiment cells on cfg's pool and
+// returns their results in canonical cell order — the deterministic
+// commit that keeps `-j N` tables byte-identical to `-j 1`.
+func runCells[R any](cfg Config, exp string, n int, cell func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	NewPool(cfg.jobs(), exp, cfg.Metrics).Run(n, func(i int) {
+		out[i] = cell(i)
+	})
+	return out
+}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"io"
+	"slices"
 	"testing"
 )
 
@@ -20,10 +22,22 @@ func validSketchBytes() []byte {
 	return buf.Bytes()
 }
 
+func validSketchBytesV1() []byte {
+	l := &SketchLog{Scheme: "SYNC", TotalOps: 40, Records: 4}
+	l.Append(Event{TID: 1, Kind: KindLock, Obj: 0xAA})
+	l.Append(Event{TID: 2, Kind: KindUnlock, Obj: 0xAA})
+	var buf bytes.Buffer
+	if err := EncodeSketchV1(&buf, l); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 func FuzzDecodeSketch(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("PRSK"))
 	f.Add(validSketchBytes())
+	f.Add(validSketchBytesV1())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		l, err := DecodeSketch(bytes.NewReader(b))
 		if err == nil && l == nil {
@@ -32,13 +46,55 @@ func FuzzDecodeSketch(f *testing.F) {
 	})
 }
 
+// FuzzSketchRoundTrip drives the v1 and v2 sketch codecs from raw
+// bytes: the input is interpreted as a stream of entries (3 bytes
+// each: tid, kind selector, object selector), and both encodings must
+// round-trip to the exact same log. Object selectors deliberately
+// revisit a small set of values so the fuzzer exercises every MRU
+// mode, not just absolute encoding.
+func FuzzSketchRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 3, 3, 200, 3, 4, 200, 0, 1, 9})
+	f.Add(bytes.Repeat([]byte{5, 7, 11, 5, 7, 12}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := &SketchLog{Scheme: "FUZZ", TotalOps: uint64(len(data)), Records: uint64(len(data) / 3)}
+		objs := [8]uint64{0, 1, 0x40, 0x48, 1 << 16, 1<<16 + 8, 1 << 50, ^uint64(0)}
+		for i := 0; i+2 < len(data); i += 3 {
+			l.Append(Event{
+				TID:  TID(data[i] & 15),
+				Kind: Kind(1 + data[i+1]%byte(numKinds-1)),
+				Obj:  objs[data[i+2]&7] + uint64(data[i+2]>>3),
+			})
+		}
+		for name, enc := range map[string]func(io.Writer, *SketchLog) error{
+			"v1": EncodeSketchV1, "v2": EncodeSketch,
+		} {
+			var buf bytes.Buffer
+			if err := enc(&buf, l); err != nil {
+				t.Fatalf("%s encode: %v", name, err)
+			}
+			got, err := DecodeSketch(&buf)
+			if err != nil {
+				t.Fatalf("%s decode: %v", name, err)
+			}
+			if got.Scheme != l.Scheme || got.TotalOps != l.TotalOps ||
+				got.Records != l.Records || !slices.Equal(got.Entries, l.Entries) {
+				t.Fatalf("%s round trip mismatch: got %d entries, want %d", name, got.Len(), l.Len())
+			}
+		}
+	})
+}
+
 func FuzzDecodeInput(f *testing.F) {
-	var buf bytes.Buffer
+	var buf, bufV1 bytes.Buffer
 	il := &InputLog{}
 	il.Append(InputRecord{TID: 1, Call: 2, Data: []byte{1, 2, 3}})
 	_ = EncodeInput(&buf, il)
+	_ = EncodeInputV1(&bufV1, il)
 	f.Add([]byte{})
 	f.Add(buf.Bytes())
+	f.Add(bufV1.Bytes())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		l, err := DecodeInput(bytes.NewReader(b))
 		if err == nil && l == nil {
@@ -48,10 +104,12 @@ func FuzzDecodeInput(f *testing.F) {
 }
 
 func FuzzDecodeFullOrder(f *testing.F) {
-	var buf bytes.Buffer
+	var buf, bufV1 bytes.Buffer
 	_ = EncodeFullOrder(&buf, &FullOrder{Order: []TID{0, 0, 1}})
+	_ = EncodeFullOrderV1(&bufV1, &FullOrder{Order: []TID{0, 0, 1}})
 	f.Add([]byte{})
 	f.Add(buf.Bytes())
+	f.Add(bufV1.Bytes())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		l, err := DecodeFullOrder(bytes.NewReader(b))
 		if err == nil && l == nil {

@@ -29,8 +29,10 @@ func NewSketchWriter(w io.Writer, scheme string) (*SketchWriter, error) {
 	if _, err := sw.bw.WriteString(magicSketchStream); err != nil {
 		return nil, err
 	}
+	// The stream layout is unchanged by wire format v2 (its per-entry
+	// tagging is already its own format), so it stays at version 1.
 	var buf []byte
-	buf = binary.AppendUvarint(buf, logVersion)
+	buf = binary.AppendUvarint(buf, logVersion1)
 	buf = binary.AppendUvarint(buf, uint64(len(scheme)))
 	buf = append(buf, scheme...)
 	if _, err := sw.bw.Write(buf); err != nil {
@@ -100,7 +102,7 @@ func DecodeSketchStream(r io.Reader) (log *SketchLog, truncated bool, err error)
 	if err := expectMagic(br, magicSketchStream); err != nil {
 		return nil, false, err
 	}
-	if err := expectVersion(br); err != nil {
+	if _, err := readVersion(br); err != nil {
 		return nil, false, err
 	}
 	nameLen, err := binary.ReadUvarint(br)
