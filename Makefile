@@ -4,17 +4,27 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test bench stress fuzz-short
+.PHONY: check build vet lint test bench stress fuzz-short
 
-## check: the full gate — build everything, vet, test under -race,
-## stress the search engine, and give every fuzz target a short budget.
-check: build vet stress fuzz-short
+## check: the full gate — build everything, lint (gofmt + vet), test
+## under -race, stress the search engine, and give every fuzz target a
+## short budget.
+check: build lint stress fuzz-short
 	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+## lint: formatting and static checks — fail if any file needs gofmt,
+## then go vet everything.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test:

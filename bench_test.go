@@ -338,9 +338,9 @@ func BenchmarkParallelReplay(b *testing.B) {
 		b.Run(map[int]string{1: "P1", 4: "P4", 8: "P8"}[p], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := core.Replay(prog, rec, core.ReplayOptions{
-					Feedback:    true,
-					Oracle:      core.MatchBugID("mysql-791"),
-					Parallelism: p,
+					Feedback: true,
+					Oracle:   core.MatchBugID("mysql-791"),
+					Workers:  p,
 				})
 				if !res.Reproduced {
 					b.Fatal("not reproduced")

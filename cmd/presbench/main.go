@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -40,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "work-stealing attempt workers per replay search (0 = sequential)")
 	adaptive := flag.Bool("adaptive", false, "let each search's worker pool retune itself from occupancy")
 	cacheSize := flag.Int("search-cache", 0, "shared schedule-cache capacity in attempts (0 disables, -1 = default size)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none); SIGINT also cancels gracefully")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	metricsOut := flag.String("metrics-out", "", "write an aggregate metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -50,7 +53,21 @@ func main() {
 		log.Fatalf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
 	}
 
+	// The run context: -timeout bounds the wall clock, SIGINT cancels
+	// cooperatively. Every seed search, recording and replay the harness
+	// performs observes it, so a cancelled run still renders the rows it
+	// finished and flushes its sinks.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
 	cfg := harness.Config{
+		Ctx:             ctx,
 		Processors:      *procs,
 		MaxAttempts:     *budget,
 		SeedBudget:      *seedBudget,
@@ -94,6 +111,11 @@ func main() {
 	results := map[string]any{}
 	run := func(id, title string, f func() any) {
 		if *exp != "all" && !strings.EqualFold(*exp, id) {
+			return
+		}
+		if ctx.Err() != nil {
+			// The run was cancelled: skip remaining experiments instead of
+			// rendering tables of zero-valued cells.
 			return
 		}
 		start := time.Now()
@@ -183,6 +205,11 @@ func main() {
 		}
 		return rows
 	})
+
+	interrupted := ctx.Err() != nil
+	if interrupted && !*asJSON {
+		fmt.Printf("run interrupted (%v): remaining experiments skipped, partial results above\n\n", ctx.Err())
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

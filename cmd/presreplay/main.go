@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -30,9 +32,10 @@ func main() {
 	noFeedback := flag.Bool("no-feedback", false, "disable feedback (random exploration ablation)")
 	verify := flag.Int("verify", 3, "re-replays of the captured order after success")
 	simplify := flag.Bool("simplify", true, "minimize context switches in the captured schedule")
-	parallel := flag.Int("parallel", 1, "legacy alias for -workers")
+	parallel := flag.Int("parallel", 1, "deprecated alias for -workers")
 	workers := flag.Int("workers", 0, "work-stealing attempt workers (1 = exact sequential search; 0 = -parallel)")
 	adaptive := flag.Bool("adaptive", false, "let the worker pool retune itself from measured occupancy")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the search (0 = none); SIGINT also cancels gracefully")
 	cacheSize := flag.Int("search-cache", 0, "schedule-cache capacity in attempts (0 disables, -1 = default size)")
 	verbose := flag.Bool("v", false, "print each replay attempt as it completes")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
@@ -70,16 +73,31 @@ func main() {
 	fmt.Printf("recording: scheme=%v entries=%d inputs=%d\n",
 		rec.Scheme, rec.Sketch.Len(), rec.Inputs.Len())
 
+	// The search context: -timeout bounds the wall clock, and SIGINT
+	// cancels cooperatively — either way the pool drains, the committed
+	// attempt prefix is reported, and the sinks below still flush.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
 	var oracle repro.Oracle
 	if *bugID != "" {
 		oracle = repro.MatchBugID(*bugID)
+	}
+	w := *workers
+	if w <= 0 {
+		w = *parallel
 	}
 	ropts := repro.ReplayOptions{
 		Feedback:        !*noFeedback,
 		MaxAttempts:     *maxAttempts,
 		Oracle:          oracle,
-		Workers:         *workers,
-		Parallelism:     *parallel,
+		Workers:         w,
 		AdaptiveWorkers: *adaptive,
 	}
 	var cache *repro.SearchCache
@@ -144,10 +162,15 @@ func main() {
 		}
 	}
 
-	res := repro.Replay(prog, rec, ropts)
+	res := repro.ReplayContext(ctx, prog, rec, ropts)
 	if !res.Reproduced {
-		fmt.Printf("NOT reproduced within %d attempts (%+v)\n", res.Attempts, res.Stats)
-		fmt.Printf("advice: %s\n", repro.Advise(rec, res))
+		if res.Err != nil {
+			fmt.Printf("search interrupted (%v) after %d committed attempts (%+v)\n",
+				res.Err, res.Attempts, res.Stats)
+		} else {
+			fmt.Printf("NOT reproduced within %d attempts (%+v)\n", res.Attempts, res.Stats)
+			fmt.Printf("advice: %s\n", repro.Advise(rec, res))
+		}
 		flush()
 		os.Exit(1)
 	}

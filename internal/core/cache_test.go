@@ -8,50 +8,10 @@ import (
 	"repro/internal/sketch"
 )
 
-func TestSearchCacheLRU(t *testing.T) {
-	c := NewSearchCache(2)
-	c.store(cacheEntry{key: "a", note: "a"})
-	c.store(cacheEntry{key: "b", note: "b"})
-	if _, ok := c.lookup("a"); !ok { // promotes a
-		t.Fatal("a missing")
-	}
-	c.store(cacheEntry{key: "c", note: "c"}) // evicts b, the LRU
-	if _, ok := c.lookup("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	for _, k := range []string{"a", "c"} {
-		if e, ok := c.lookup(k); !ok || e.note != k {
-			t.Fatalf("%s missing or wrong after eviction", k)
-		}
-	}
-	if c.Len() != 2 {
-		t.Fatalf("Len = %d, want 2", c.Len())
-	}
-	hits, misses := c.Stats()
-	if hits != 3 || misses != 1 {
-		t.Fatalf("stats = %d/%d, want 3 hits 1 miss", hits, misses)
-	}
-	c.store(cacheEntry{key: "a", note: "a2"}) // update in place
-	if e, _ := c.lookup("a"); e.note != "a2" {
-		t.Fatal("update did not replace the entry")
-	}
-}
-
-func TestSearchCacheNilAndEmptyKeySafe(t *testing.T) {
-	var c *SearchCache
-	if _, ok := c.lookup("x"); ok {
-		t.Fatal("nil cache hit")
-	}
-	c.store(cacheEntry{key: "x"})
-	if c.Len() != 0 {
-		t.Fatal("nil cache grew")
-	}
-	real := NewSearchCache(0)
-	real.store(cacheEntry{key: ""})
-	if real.Len() != 0 {
-		t.Fatal("empty key stored")
-	}
-}
+// The cache's own LRU/nil-safety unit tests moved to internal/search
+// with the implementation; what stays here is the *engine's* cache
+// contract — trajectory invariance, reproduction freshness, and the
+// cross-search race stress.
 
 func TestReplayCacheInvariant(t *testing.T) {
 	// The tentpole's core invariant: a warm cache changes wall-clock

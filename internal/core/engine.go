@@ -1,0 +1,399 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/appkit"
+	"repro/internal/exec"
+	"repro/internal/race"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/trace"
+	"repro/internal/vsys"
+)
+
+// This file is the replay search engine: the exec.Runner that composes,
+// executes and commits attempts on the canonical-commit pool. The
+// public surface lives in replay.go, the observability plumbing in
+// report.go, and the feedback generation in feedback.go.
+
+type attemptOutcome struct {
+	bug      bool
+	failure  *sched.Failure
+	races    []race.Pair
+	order    *trace.FullOrder
+	diverged bool
+	clean    bool
+	// cancelled marks an attempt the context cut short: the execution
+	// unwound at a scheduling point before reaching a verdict, so the
+	// outcome describes a truncated run and must never feed the schedule
+	// cache or the feedback frontier.
+	cancelled bool
+	// horizon is the step nearest the recorded execution's end: the
+	// step at which the sketch was fully consumed, or where the attempt
+	// stopped if it never was. The production run died here, so races
+	// near it are the prime flip candidates.
+	horizon uint64
+	// consumed counts the sketch entries the director honored; note is
+	// its divergence note, if any; wall is the attempt's wall-clock
+	// duration. All three feed the attempt trace (see obs.AttemptEvent).
+	consumed int
+	note     string
+	wall     time.Duration
+	// rawFailure is the execution's failure before oracle
+	// classification (failure above is only set for the target bug) —
+	// what the schedule cache stores so a hit can be re-judged under
+	// any oracle.
+	rawFailure *sched.Failure
+	// cached marks an outcome served by the schedule cache instead of
+	// an execution.
+	cached bool
+}
+
+// cancelNone is the sentinel for "no reproduction known yet" in the
+// cooperative-cancellation word (any real attempt index is smaller).
+const cancelNone = int64(^uint64(0) >> 1)
+
+// cancellableStrategy wraps an attempt's strategy with a poll of the
+// search-wide first-success index: once some earlier-canonical attempt
+// has reproduced, later in-flight attempts abort at their next
+// scheduling point instead of running to completion.
+type cancellableStrategy struct {
+	inner  sched.Strategy
+	idx    int64
+	cancel *atomic.Int64
+}
+
+func (c *cancellableStrategy) Pick(view *sched.PickView) (trace.TID, bool) {
+	if c.cancel.Load() < c.idx {
+		return trace.NoTID, false
+	}
+	return c.inner.Pick(view)
+}
+
+// runAttempt performs one coordinated replay: sketch enforcement plus
+// the given flip set, with the race detector watching for feedback.
+// cancel, when non-nil, lets a concurrent earlier success abort this
+// attempt between scheduling points; ctx cancellation aborts it the
+// same way, via the scheduler's own context poll.
+func runAttempt(ctx context.Context, prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions, idx int64, cancel *atomic.Int64) attemptOutcome {
+	start := time.Now()
+	world := vsys.NewWorld(rec.Options.WorldSeed)
+	world.StartReplay(rec.Inputs)
+
+	entries := rec.Sketch.Entries
+	softStart := false
+	if opts.SketchTail > 0 && opts.SketchTail < len(entries) {
+		// Tail-only replay: the prefix of the execution is
+		// unconstrained, so the sketch can only ever be a soft guide.
+		entries = entries[len(entries)-opts.SketchTail:]
+		softStart = true
+	}
+	dir := newDirector(rec.Scheme, entries, fs, rng)
+	dir.soft = dir.soft || softStart
+	var det interface {
+		sched.Observer
+		Pairs() []race.Pair
+	} = race.NewDetector()
+	if opts.UseLockset {
+		det = race.NewLocksetDetector()
+	}
+	cap := &orderCapture{}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = rec.Options.MaxSteps
+	}
+
+	var strat sched.Strategy = dir
+	if cancel != nil {
+		strat = &cancellableStrategy{inner: dir, idx: idx, cancel: cancel}
+	}
+	res := execute(prog, rec.Options, sched.Config{
+		Strategy:  strat,
+		Observers: []sched.Observer{dir, det, cap},
+		MaxSteps:  maxSteps,
+		Metrics:   opts.Metrics,
+		Ctx:       ctx,
+	}, world)
+
+	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote, rawFailure: res.Failure}
+	if out.horizon == 0 {
+		out.horizon = res.Steps
+	}
+	switch {
+	case res.Failure == nil:
+		out.clean = true
+	case res.Failure.IsBug() && opts.oracle()(res.Failure):
+		out.bug = true
+		out.failure = res.Failure
+		out.order = cap.full()
+	case res.Failure.Reason == sched.ReasonDiverged:
+		out.diverged = true
+	case res.Failure.Reason == sched.ReasonCancelled:
+		out.cancelled = true
+	}
+	out.wall = time.Since(start)
+	return out
+}
+
+// searchJob is one dispatched attempt: its canonical index, what kind
+// of exploration it performs, and (after running) its outcome.
+type searchJob struct {
+	idx       int // 0-based canonical attempt index
+	directed  bool
+	nd        replayNode
+	seed      int64
+	likelyWin bool // cache says this attempt reproduced last time
+	out       attemptOutcome
+}
+
+// searchState is one replay search, expressed as the exec pool's
+// Runner. The layering splits the old monolith's responsibilities:
+//
+//   - the pool (internal/exec) owns canonical index dispatch, the
+//     strict in-order commit drain, worker lifecycle, context
+//     cancellation and the adaptive occupancy controller. Dispatch,
+//     Complete and Commit below run under the pool's mutex, so the
+//     canonical-order state they touch (directedLive, the dedup set
+//     `seen`, racesSeen, the result) needs no further locking — the
+//     same single-lock discipline the old engine had, now borrowed
+//     from the pool.
+//   - the frontier and the schedule cache (internal/search) carry
+//     their own finer locks, so pushes, steals and cache probes from
+//     other workers never wait on a commit in progress.
+//   - cancel and likelyWinner are the cross-worker atomics, mutated
+//     from Run (which holds no lock): cancel is the lowest attempt
+//     index known to have reproduced, polled by in-flight attempts at
+//     every scheduling point; likelyWinner is the lowest in-flight
+//     attempt whose cache entry says it reproduced last time.
+type searchState struct {
+	prog     *appkit.Program
+	rec      *Recording
+	opts     ReplayOptions
+	pol      search.Policy
+	feedback bool
+	budget   int
+	maxW     int
+	digest   uint64 // schedule-cache context digest
+	failTID  trace.TID
+	frontier *search.Frontier[replayNode]
+	cancel   atomic.Int64
+	// likelyWinner is the lowest in-flight attempt whose cache entry
+	// says it reproduced last time (re-executing to capture a fresh
+	// order); dispatch pauses past it rather than speculate on attempts
+	// its success is about to cancel. -1 when no such attempt is known.
+	likelyWinner atomic.Int64
+
+	// Guarded by the pool's mutex (only touched from Dispatch, Complete
+	// and Commit).
+	directedLive int // dispatched directed attempts not yet completed
+	seen         map[string]bool
+	racesSeen    map[string]bool
+	r            *ReplayResult
+}
+
+// Dispatch composes the attempt for canonical index idx: the policy
+// decides whether it pops the directed frontier (priority:
+// breadth-first over flip depth — nearly every real bug needs only one
+// or two reorderings, so all single flips are tried before any pair)
+// or samples the space probabilistically.
+//
+// A directed slot that finds the frontier empty while another directed
+// attempt is still in flight waits for that attempt to commit instead
+// of burning the slot on a speculative random sample: the in-flight
+// attempt's feedback is about to refill the frontier, and the paper's
+// search is worth more per execution than blind sampling. At Workers=1
+// no other attempt is ever in flight, so the sequential composition —
+// pop if available, else random — is untouched.
+func (s *searchState) Dispatch(worker, idx int) exec.Decision {
+	if lw := s.likelyWinner.Load(); lw >= 0 && int64(idx) > lw {
+		// A warm-cache attempt below us is re-executing a known
+		// reproduction; its success cancels everything we would start
+		// now, so wait for it instead of burning CPU.
+		return exec.Decision{Wait: true}
+	}
+	if s.feedback && s.pol.Directed(idx) {
+		if nd, ok := s.frontier.Pop(worker); ok {
+			s.directedLive++
+			return exec.Decision{Job: &searchJob{idx: idx, directed: true, nd: nd, seed: int64(idx)}}
+		}
+		if s.directedLive > 0 {
+			return exec.Decision{Wait: true}
+		}
+	}
+	return exec.Decision{Job: &searchJob{idx: idx, seed: int64(idx)}}
+}
+
+// Run produces the attempt's outcome: from the schedule cache when an
+// equivalent attempt already executed (and its failure is not the
+// target bug — reproductions always re-execute so the captured order
+// is fresh), otherwise by running the simulated execution.
+func (s *searchState) Run(ctx context.Context, worker, idx int, job any) {
+	j := job.(*searchJob)
+	var key string
+	if s.opts.Cache != nil {
+		seeded := !j.directed && s.pol.Seeded(j.idx)
+		key = trace.ScheduleCacheKey(s.digest, j.seed, seeded, canonicalFlipKey(j.nd.fs))
+		if e, ok := s.opts.Cache.Lookup(key); ok {
+			if !s.isTargetBug(e.Failure) {
+				start := time.Now()
+				j.out = attemptOutcome{
+					races:      e.Races,
+					horizon:    e.Horizon,
+					consumed:   e.Consumed,
+					note:       e.Note,
+					rawFailure: e.Failure,
+					cached:     true,
+				}
+				switch {
+				case e.Failure == nil:
+					j.out.clean = true
+				case e.Failure.Reason == sched.ReasonDiverged:
+					j.out.diverged = true
+				}
+				j.out.wall = time.Since(start)
+				return
+			}
+			// The cache says this attempt reproduced the target bug
+			// last time. It must re-execute so this search captures a
+			// fresh full order — but flag it so dispatch stops
+			// speculating on attempts its success is about to cancel.
+			for {
+				cur := s.likelyWinner.Load()
+				if cur >= 0 && cur <= int64(j.idx) {
+					break
+				}
+				if s.likelyWinner.CompareAndSwap(cur, int64(j.idx)) {
+					j.likelyWin = true
+					break
+				}
+			}
+		}
+	}
+	var rng *rand.Rand
+	if !j.directed && s.pol.Seeded(j.idx) {
+		rng = rand.New(rand.NewSource(j.seed))
+	}
+	var cancel *atomic.Int64
+	if s.maxW > 1 {
+		cancel = &s.cancel
+	}
+	j.out = runAttempt(ctx, s.prog, s.rec, j.nd.fs, rng, s.opts, int64(j.idx), cancel)
+	if j.out.bug {
+		// Publish the reproduction immediately (before its canonical
+		// turn): in-flight attempts with higher indices poll this word
+		// and abort at their next scheduling point.
+		for {
+			cur := s.cancel.Load()
+			if int64(j.idx) >= cur || s.cancel.CompareAndSwap(cur, int64(j.idx)) {
+				break
+			}
+		}
+	}
+	if s.opts.Cache != nil && !j.out.cancelled && s.cancel.Load() >= int64(j.idx) {
+		// Store only complete executions: a cancelled attempt's outcome
+		// is truncated. A reproduction's raw failure is stored too — as
+		// the likely-winner hint above — but never served in place of a
+		// re-execution, so every search captures its own order.
+		s.opts.Cache.Store(search.Entry{
+			Key:      key,
+			Races:    j.out.races,
+			Failure:  j.out.rawFailure,
+			Horizon:  j.out.horizon,
+			Consumed: j.out.consumed,
+			Note:     j.out.note,
+		})
+	}
+}
+
+func (s *searchState) isTargetBug(f *sched.Failure) bool {
+	return f != nil && f.IsBug() && s.opts.oracle()(f)
+}
+
+// Complete records an attempt's completion (in completion order,
+// before its canonical commit): the in-flight bookkeeping dispatch
+// consults must not wait for canonical order.
+func (s *searchState) Complete(idx int, job any) {
+	j := job.(*searchJob)
+	if j.directed {
+		s.directedLive--
+	}
+	if j.likelyWin {
+		s.likelyWinner.CompareAndSwap(int64(j.idx), -1)
+	}
+}
+
+// Commit folds one attempt, in canonical order, into the result:
+// observability, stats, and — for failed directed attempts — feedback
+// children into the frontier. Returning false on a reproduction stops
+// the pool: the first success in canonical order wins.
+func (s *searchState) Commit(idx int, job any) bool {
+	j := job.(*searchJob)
+	r := s.r
+	r.Attempts++
+	if s.opts.Cache != nil {
+		if j.out.cached {
+			r.Stats.CacheHits++
+		} else {
+			r.Stats.CacheMisses++
+		}
+	}
+	s.opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
+	if j.out.bug {
+		r.Reproduced = true
+		r.Failure = j.out.failure
+		r.Order = j.out.order
+		if j.directed {
+			r.Flips = len(j.nd.fs.flips)
+			r.RootCauses = j.nd.fs.pairs()
+		}
+		return false
+	}
+	switch {
+	case j.out.cancelled:
+		r.Stats.Cancelled++
+	case j.out.diverged:
+		r.Stats.Divergences++
+	case j.out.clean:
+		r.Stats.CleanRuns++
+	default:
+		r.Stats.OtherFailures++
+	}
+	if j.out.cancelled {
+		// A truncated execution's races and horizon describe a run that
+		// never finished: no feedback, no race folding.
+		return true
+	}
+	for _, p := range j.out.races {
+		s.racesSeen[p.Key()] = true
+	}
+	r.Stats.RacesSeen = len(s.racesSeen)
+	if j.directed {
+		r.Stats.FlipsEnqueued += s.appendChildren(j.nd, j.out)
+	}
+	if m := s.opts.Metrics; m != nil && s.feedback {
+		depth := float64(s.frontier.Len())
+		m.Gauge("pres_replay_frontier_depth").Set(depth)
+		m.Gauge("pres_replay_frontier_depth_peak").SetMax(depth)
+	}
+	return true
+}
+
+// outcomeName classifies an attempt outcome for progress reporting.
+func outcomeName(out attemptOutcome) string {
+	switch {
+	case out.bug:
+		return "reproduced"
+	case out.clean:
+		return "clean"
+	case out.diverged:
+		return "diverged"
+	case out.cancelled:
+		return "cancelled"
+	default:
+		return "other"
+	}
+}

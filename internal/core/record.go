@@ -8,6 +8,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"io"
 
@@ -174,8 +175,17 @@ func execute(prog *appkit.Program, opts Options, cfg sched.Config, world *vsys.W
 // Record performs one production run of prog under opts, recording a
 // sketch with the chosen scheme and the input log. The run uses the
 // multiprocessor production scheduler; whether the bug manifests depends
-// on ScheduleSeed (use harness.FindBuggySeed to search).
+// on ScheduleSeed (use harness.FindBuggySeed to search). It is
+// RecordContext with a background context.
 func Record(prog *appkit.Program, opts Options) *Recording {
+	return RecordContext(context.Background(), prog, opts)
+}
+
+// RecordContext performs one production run under ctx: a cancelled
+// context unwinds the run at its next scheduling point, leaving a
+// recording whose Result carries a ReasonCancelled failure (never
+// mistaken for a manifested bug).
+func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Recording {
 	world := vsys.NewWorld(opts.WorldSeed)
 	inputs := &trace.InputLog{}
 	world.StartRecording(inputs)
@@ -185,6 +195,7 @@ func Record(prog *appkit.Program, opts Options) *Recording {
 		Observers: []sched.Observer{rec},
 		MaxSteps:  opts.MaxSteps,
 		Metrics:   opts.Metrics,
+		Ctx:       ctx,
 	}, world)
 	out := &Recording{
 		Scheme:  opts.Scheme,

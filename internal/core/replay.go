@@ -1,17 +1,14 @@
 package core
 
 import (
-	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+	"context"
 
 	"repro/internal/appkit"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/trace"
 	"repro/internal/vsys"
 )
@@ -42,6 +39,20 @@ func isDeadlockID(id string) bool {
 	return false
 }
 
+// SearchCache is the cross-attempt schedule cache consumed through
+// ReplayOptions.Cache; it lives in internal/search and is re-exported
+// here for the public API.
+type SearchCache = search.Cache
+
+// DefaultSearchCacheSize is the entry cap a zero-capacity
+// NewSearchCache gets.
+const DefaultSearchCacheSize = search.DefaultCacheSize
+
+// NewSearchCache returns an empty cache holding at most capacity
+// entries (<=0 selects DefaultSearchCacheSize), evicting
+// least-recently used.
+func NewSearchCache(capacity int) *SearchCache { return search.NewCache(capacity) }
+
 // ReplayOptions parameterizes the intelligent replayer.
 type ReplayOptions struct {
 	// MaxAttempts bounds the search; the paper uses 1000 as "not
@@ -50,8 +61,15 @@ type ReplayOptions struct {
 	// Feedback enables race-directed search (the paper's feedback
 	// generation). When false, each attempt explores the sketch-
 	// constrained space with an independent random seed — the E5
-	// ablation baseline.
+	// ablation baseline. Ignored when Policy is set.
 	Feedback bool
+	// Policy composes the search's attempt kinds — which canonical
+	// indices pop the directed frontier and which sample randomly (see
+	// internal/search.Policy). Nil derives the policy from Feedback:
+	// search.FeedbackDirected when true, search.Probabilistic when
+	// false. Setting it plugs in alternative strategies (e.g.
+	// search.StickyDirected) without touching the engine.
+	Policy search.Policy
 	// BranchFactor bounds how many race flips a failed attempt enqueues
 	// (nearest the failure point first). 0 means DefaultBranchFactor.
 	BranchFactor int
@@ -83,6 +101,8 @@ type ReplayOptions struct {
 	// Parallelism is the legacy name for Workers (the old engine ran
 	// attempts in lock-step waves of this size); it is honored when
 	// Workers is 0.
+	//
+	// Deprecated: use Workers.
 	Parallelism int
 	// AdaptiveWorkers lets the pool shrink and regrow between 1 and
 	// Workers, driven by the measured dispatch occupancy (the
@@ -100,9 +120,9 @@ type ReplayOptions struct {
 	Cache *SearchCache
 	// OnAttempt, if set, is called after each attempt (in canonical
 	// order) with its 1-based index, mode ("directed" or "random") and
-	// outcome ("reproduced", "clean", "diverged" or "other") — live
-	// progress for interactive tools. It is implemented on top of the
-	// same per-attempt events Trace receives.
+	// outcome ("reproduced", "clean", "diverged", "cancelled" or
+	// "other") — live progress for interactive tools. It is implemented
+	// on top of the same per-attempt events Trace receives.
 	OnAttempt func(i int, mode, outcome string)
 	// Metrics, when non-nil, receives the search's metrics: attempt
 	// counters by mode and outcome, attempt wall-time histograms,
@@ -122,6 +142,29 @@ const DefaultMaxAttempts = 1000
 
 // DefaultBranchFactor bounds feedback fan-out per failed attempt.
 const DefaultBranchFactor = 8
+
+// normalize resolves every legacy alias and derived default into
+// canonical form — the one place the Parallelism→Workers migration and
+// the Feedback→Policy derivation live. Every public entry point calls
+// it once, so the engine below only ever sees Workers >= 1 and a
+// non-nil Policy.
+func (o ReplayOptions) normalize() ReplayOptions {
+	if o.Workers <= 0 {
+		o.Workers = o.Parallelism
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	o.Parallelism = 0
+	if o.Policy == nil {
+		if o.Feedback {
+			o.Policy = search.FeedbackDirected{}
+		} else {
+			o.Policy = search.Probabilistic{}
+		}
+	}
+	return o
+}
 
 func (o ReplayOptions) maxAttempts() int {
 	if o.MaxAttempts <= 0 {
@@ -144,24 +187,12 @@ func (o ReplayOptions) oracle() Oracle {
 	return o.Oracle
 }
 
-// workers resolves the pool size: Workers, falling back to the legacy
-// Parallelism field, floor 1.
-func (o ReplayOptions) workers() int {
-	w := o.Workers
-	if w <= 0 {
-		w = o.Parallelism
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
 // ReplayStats counts what the search did.
 type ReplayStats struct {
 	Divergences   int // attempts that diverged from the sketch
 	CleanRuns     int // attempts that completed without the bug
 	OtherFailures int // step limits or non-matching bugs
+	Cancelled     int // attempts cut short by context cancellation
 	RacesSeen     int // distinct race pairs observed across attempts
 	FlipsEnqueued int // feedback children pushed
 	CacheHits     int // attempts answered by the schedule cache
@@ -182,189 +213,24 @@ type ReplayResult struct {
 	// success came from a probabilistic attempt or needed no flips.
 	RootCauses []race.Pair
 	Stats      ReplayStats
+	// Err distinguishes an interrupted search from an exhausted one:
+	// context.Canceled or context.DeadlineExceeded when the search's
+	// context ended before the budget did, nil otherwise. A search that
+	// reproduced reports Err == nil even if cancellation raced its
+	// shutdown — a success is a success. Attempts and Stats always
+	// describe the committed canonical prefix.
+	Err error
 }
-
-type attemptOutcome struct {
-	bug      bool
-	failure  *sched.Failure
-	races    []race.Pair
-	order    *trace.FullOrder
-	diverged bool
-	clean    bool
-	// horizon is the step nearest the recorded execution's end: the
-	// step at which the sketch was fully consumed, or where the attempt
-	// stopped if it never was. The production run died here, so races
-	// near it are the prime flip candidates.
-	horizon uint64
-	// consumed counts the sketch entries the director honored; note is
-	// its divergence note, if any; wall is the attempt's wall-clock
-	// duration. All three feed the attempt trace (see obs.AttemptEvent).
-	consumed int
-	note     string
-	wall     time.Duration
-	// rawFailure is the execution's failure before oracle
-	// classification (failure above is only set for the target bug) —
-	// what the schedule cache stores so a hit can be re-judged under
-	// any oracle.
-	rawFailure *sched.Failure
-	// cached marks an outcome served by the schedule cache instead of
-	// an execution.
-	cached bool
-}
-
-// cancelNone is the sentinel for "no reproduction known yet" in the
-// cooperative-cancellation word (any real attempt index is smaller).
-const cancelNone = int64(^uint64(0) >> 1)
-
-// cancellableStrategy wraps an attempt's strategy with a poll of the
-// search-wide first-success index: once some earlier-canonical attempt
-// has reproduced, later in-flight attempts abort at their next
-// scheduling point instead of running to completion.
-type cancellableStrategy struct {
-	inner  sched.Strategy
-	idx    int64
-	cancel *atomic.Int64
-}
-
-func (c *cancellableStrategy) Pick(view *sched.PickView) (trace.TID, bool) {
-	if c.cancel.Load() < c.idx {
-		return trace.NoTID, false
-	}
-	return c.inner.Pick(view)
-}
-
-// runAttempt performs one coordinated replay: sketch enforcement plus
-// the given flip set, with the race detector watching for feedback.
-// cancel, when non-nil, lets a concurrent earlier success abort this
-// attempt between scheduling points.
-func runAttempt(prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions, idx int64, cancel *atomic.Int64) attemptOutcome {
-	start := time.Now()
-	world := vsys.NewWorld(rec.Options.WorldSeed)
-	world.StartReplay(rec.Inputs)
-
-	entries := rec.Sketch.Entries
-	softStart := false
-	if opts.SketchTail > 0 && opts.SketchTail < len(entries) {
-		// Tail-only replay: the prefix of the execution is
-		// unconstrained, so the sketch can only ever be a soft guide.
-		entries = entries[len(entries)-opts.SketchTail:]
-		softStart = true
-	}
-	dir := newDirector(rec.Scheme, entries, fs, rng)
-	dir.soft = dir.soft || softStart
-	var det interface {
-		sched.Observer
-		Pairs() []race.Pair
-	} = race.NewDetector()
-	if opts.UseLockset {
-		det = race.NewLocksetDetector()
-	}
-	cap := &orderCapture{}
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = rec.Options.MaxSteps
-	}
-
-	var strat sched.Strategy = dir
-	if cancel != nil {
-		strat = &cancellableStrategy{inner: dir, idx: idx, cancel: cancel}
-	}
-	res := execute(prog, rec.Options, sched.Config{
-		Strategy:  strat,
-		Observers: []sched.Observer{dir, det, cap},
-		MaxSteps:  maxSteps,
-		Metrics:   opts.Metrics,
-	}, world)
-
-	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote, rawFailure: res.Failure}
-	if out.horizon == 0 {
-		out.horizon = res.Steps
-	}
-	switch {
-	case res.Failure == nil:
-		out.clean = true
-	case res.Failure.IsBug() && opts.oracle()(res.Failure):
-		out.bug = true
-		out.failure = res.Failure
-		out.order = cap.full()
-	case res.Failure.Reason == sched.ReasonDiverged:
-		out.diverged = true
-	}
-	out.wall = time.Since(start)
-	return out
-}
-
-// reportAttempt publishes one finished attempt, in canonical order, on
-// every observability surface: the structured trace sink, the metrics
-// registry, and the legacy OnAttempt callback — one event, rendered
-// three ways.
-func (o ReplayOptions) reportAttempt(idx int, directed bool, fs flipSet, out attemptOutcome) {
-	if o.Trace == nil && o.Metrics == nil && o.OnAttempt == nil {
-		return
-	}
-	mode := "random"
-	if directed {
-		mode = "directed"
-	}
-	outcome := outcomeName(out)
-	o.Trace.Emit(obs.AttemptEvent{
-		Event:          obs.EventAttempt,
-		Attempt:        idx,
-		Mode:           mode,
-		FlipSetID:      fs.id,
-		FlipDepth:      len(fs.flips),
-		Outcome:        outcome,
-		WallMS:         float64(out.wall) / float64(time.Millisecond),
-		SketchConsumed: out.consumed,
-		Divergence:     out.note,
-		Cached:         out.cached,
-	})
-	if m := o.Metrics; m != nil {
-		m.Counter("pres_replay_attempts_total", "mode", mode, "outcome", outcome).Inc()
-		m.Histogram("pres_replay_attempt_wall_seconds", obs.DefaultTimeBuckets).Observe(out.wall.Seconds())
-	}
-	if o.OnAttempt != nil {
-		o.OnAttempt(idx, mode, outcome)
-	}
-}
-
-// reportSearch closes the search's observability: a summary trace
-// event and the search-level metrics. Called on every Replay return
-// path.
-func (o ReplayOptions) reportSearch(r *ReplayResult) {
-	o.Trace.Emit(obs.SummaryEvent{
-		Event:       obs.EventSummary,
-		Reproduced:  r.Reproduced,
-		Attempts:    r.Attempts,
-		Flips:       r.Flips,
-		Divergences: r.Stats.Divergences,
-		CleanRuns:   r.Stats.CleanRuns,
-		RacesSeen:   r.Stats.RacesSeen,
-		CacheHits:   r.Stats.CacheHits,
-		CacheMisses: r.Stats.CacheMisses,
-	})
-	if m := o.Metrics; m != nil {
-		result := "exhausted"
-		if r.Reproduced {
-			result = "reproduced"
-		}
-		m.Counter("pres_replay_searches_total", "result", result).Inc()
-		m.Counter("pres_replay_flips_enqueued_total").Add(uint64(r.Stats.FlipsEnqueued))
-		m.Gauge("pres_replay_races_seen").Set(float64(r.Stats.RacesSeen))
-		if r.Stats.CacheHits+r.Stats.CacheMisses > 0 {
-			m.Counter("pres_replay_cache_hits_total").Add(uint64(r.Stats.CacheHits))
-			m.Counter("pres_replay_cache_misses_total").Add(uint64(r.Stats.CacheMisses))
-		}
-	}
-}
-
-// waveBuckets are the occupancy histogram bounds: pool sizes worth
-// distinguishing.
-var waveBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // Replay is the intelligent replayer: it searches the unrecorded
 // non-deterministic space left by the sketch until the bug reproduces or
-// the attempt budget is exhausted.
+// the attempt budget is exhausted. It is ReplayContext with a background
+// context.
+func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayResult {
+	return ReplayContext(context.Background(), prog, rec, opts)
+}
+
+// ReplayContext runs the replay search under ctx.
 //
 // With feedback (the paper's design — it is *probabilistic* replay),
 // the search alternates two kinds of coordinated attempts: directed
@@ -375,69 +241,80 @@ var waveBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 // attempts systematically force the windows random sampling is unlikely
 // to hit; random attempts cover window shapes the race-flip vocabulary
 // cannot express. Without feedback, only the random sampling remains —
-// the paper's ablation baseline.
+// the paper's ablation baseline. ReplayOptions.Policy plugs other
+// compositions into the same engine.
 //
-// The search runs on a pool of Workers attempt workers over a sharded
-// priority frontier: there is no wave barrier — a failed directed
-// attempt's children enter the frontier the moment it commits, and any
-// idle worker steals them. Attempt outcomes commit strictly in
-// canonical attempt order under one mutex, so stats, feedback, dedup
-// and every observability surface behave as if the attempts had run
+// The search runs on the internal/exec canonical-commit pool over the
+// internal/search sharded priority frontier: there is no wave barrier —
+// a failed directed attempt's children enter the frontier the moment it
+// commits, and any idle worker steals them. Attempt outcomes commit
+// strictly in canonical attempt order, so stats, feedback, dedup and
+// every observability surface behave as if the attempts had run
 // sequentially; the first success in canonical order wins and
-// cooperatively cancels in-flight later attempts. With Workers <= 1
-// the engine degenerates to the exact sequential search — dispatch,
-// execute and commit strictly alternate — which is the deterministic
-// baseline the tests pin.
-func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayResult {
+// cooperatively cancels in-flight later attempts. With Workers <= 1 the
+// engine degenerates to the exact sequential search — dispatch, execute
+// and commit strictly alternate — which is the deterministic baseline
+// the tests pin.
+//
+// Cancelling ctx stops the search cooperatively: no new attempts
+// dispatch, in-flight attempts abort at their next scheduling point,
+// already-completed attempts still commit in canonical order, and the
+// pool drains without leaking a goroutine. The result reports the
+// committed prefix with Err set to the context's error.
+func ReplayContext(ctx context.Context, prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayResult {
+	opts = opts.normalize()
 	s := &searchState{
 		prog:      prog,
 		rec:       rec,
 		opts:      opts,
+		pol:       opts.Policy,
+		feedback:  opts.Policy.UsesFeedback(),
 		budget:    opts.maxAttempts(),
-		feedback:  opts.Feedback,
-		maxW:      opts.workers(),
-		winner:    -1,
+		maxW:      opts.Workers,
 		failTID:   trace.NoTID,
-		pending:   make(map[int]*searchJob),
 		seen:      map[string]bool{"": true},
 		racesSeen: map[string]bool{},
 		r:         &ReplayResult{},
 	}
-	s.cond = sync.NewCond(&s.mu)
 	s.cancel.Store(cancelNone)
-	s.likelyWinner = -1
-	s.target = s.maxW
-	if opts.AdaptiveWorkers && s.maxW > 2 {
-		// Start mid-pool and let the occupancy signal grow or shrink it.
-		s.target = (s.maxW + 1) / 2
-	}
-	if t := s.hwClampLocked(s.target); t < s.target {
-		s.target = t
-	}
+	s.likelyWinner.Store(-1)
 	if opts.Cache != nil {
-		s.ctx = searchDigest(prog, rec, opts)
+		s.digest = searchDigest(prog, rec, opts)
 	}
 	if s.feedback {
-		s.frontier = newShardedFrontier(s.maxW)
-		s.frontier.Push(replayNode{})
+		s.frontier = search.NewFrontier[replayNode](s.maxW)
+		s.frontier.Push(replayNode{}, 0)
 		// The production run's failing thread, if the recording captured
 		// the failure: races involving it are the prime suspects.
 		if f := rec.BugFailure(); f != nil {
 			s.failTID = f.TID
 		}
 	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < s.maxW; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			s.worker(id)
-		}(w)
+	var active *obs.Gauge
+	var occ *obs.Histogram
+	if m := opts.Metrics; m != nil {
+		active = m.Gauge("pres_replay_workers_active")
+		occ = m.Histogram("pres_replay_wave_occupancy", waveBuckets)
 	}
-	wg.Wait()
 
-	if !s.r.Reproduced && s.feedback {
+	err := exec.Run(ctx, exec.Config{
+		Workers:   s.maxW,
+		Budget:    s.budget,
+		Adaptive:  opts.AdaptiveWorkers,
+		Active:    active,
+		Occupancy: occ,
+	}, s)
+	if err == nil {
+		// The pool can finish its last dispatched indices while the
+		// context expires; the search was still cut short.
+		err = ctx.Err()
+	}
+	if s.r.Reproduced {
+		err = nil // a success that raced shutdown is still a success
+	}
+	s.r.Err = err
+
+	if !s.r.Reproduced && err == nil && s.feedback {
 		s.r.Stats.FrontierDried = s.frontier.Len() == 0
 		if m := opts.Metrics; m != nil {
 			m.Gauge("pres_replay_frontier_depth").Set(float64(s.frontier.Len()))
@@ -447,532 +324,21 @@ func Replay(prog *appkit.Program, rec *Recording, opts ReplayOptions) *ReplayRes
 	return s.r
 }
 
-// searchJob is one dispatched attempt: its canonical index, what kind
-// of exploration it performs, and (after running) its outcome.
-type searchJob struct {
-	idx       int // 0-based canonical attempt index
-	directed  bool
-	nd        replayNode
-	seed      int64
-	likelyWin bool // cache says this attempt reproduced last time
-	out       attemptOutcome
-}
-
-// searchState is the shared state of one replay search. Two locking
-// domains keep the workers honest:
-//
-//   - mu orders everything canonical: attempt dispatch (index
-//     assignment), the in-order commit of outcomes (stats, feedback
-//     children, the dedup set `seen`, trace emission), and the adaptive
-//     pool controller. The dedup set is therefore mutated only under
-//     mu — the race the old wave engine's `tried` map invited is
-//     structurally gone (pinned by TestSearchDedupRaceStress).
-//   - the frontier and the schedule cache carry their own finer locks,
-//     so pushes, steals and cache probes from other workers never wait
-//     on a commit in progress.
-//
-// cancel is the lone cross-worker atomic: the lowest attempt index
-// known to have reproduced, polled by in-flight attempts at every
-// scheduling point.
-type searchState struct {
-	prog     *appkit.Program
-	rec      *Recording
-	opts     ReplayOptions
-	budget   int
-	feedback bool
-	maxW     int
-	ctx      uint64 // schedule-cache context digest
-	failTID  trace.TID
-	frontier *shardedFrontier
-	cancel   atomic.Int64
-
-	mu         sync.Mutex
-	cond       *sync.Cond
-	next       int // next canonical index to dispatch
-	commitNext int // next canonical index to commit
-	pending    map[int]*searchJob
-	winner       int // committed first-success index; -1 while searching
-	directedLive int // dispatched directed attempts not yet completed
-	// likelyWinner is the lowest in-flight attempt whose cache entry
-	// says it reproduced last time (re-executing to capture a fresh
-	// order); dispatch pauses past it rather than speculate on attempts
-	// its success is about to cancel. -1 when no such attempt is known.
-	likelyWinner int
-	seen         map[string]bool
-	racesSeen    map[string]bool
-	r          *ReplayResult
-	active     int     // workers currently executing an attempt
-	target     int     // adaptive pool-size target
-	occ        float64 // EWMA of dispatch-time occupancy
-	occInit    bool
-}
-
-func (s *searchState) worker(id int) {
-	for {
-		j := s.dispatch(id)
-		if j == nil {
-			return
-		}
-		s.runJob(id, j)
-		s.complete(j)
-	}
-}
-
-// dispatch reserves the next canonical attempt and decides its kind:
-// odd indices sample the space probabilistically; even indices pop the
-// directed frontier (priority: breadth-first over flip depth — nearly
-// every real bug needs only one or two reorderings, so all single
-// flips are tried before any pair), falling back to a probabilistic
-// sample when the frontier is empty. Returns nil when the search is
-// over: budget dispatched or a success committed. Workers whose id
-// exceeds the adaptive target park here until retuned.
-//
-// A directed slot that finds the frontier empty while another directed
-// attempt is still in flight waits for that attempt to commit instead
-// of burning the slot on a speculative random sample: the in-flight
-// attempt's feedback is about to refill the frontier, and the paper's
-// search is worth more per execution than blind sampling. At Workers=1
-// no other attempt is ever in flight, so the sequential composition —
-// pop if available, else random — is untouched.
-func (s *searchState) dispatch(id int) *searchJob {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.winner >= 0 || s.next >= s.budget {
-			return nil
-		}
-		if id >= s.target {
-			s.cond.Wait()
-			continue
-		}
-		if lw := s.likelyWinner; lw >= 0 && s.next > lw {
-			// A warm-cache attempt below us is re-executing a known
-			// reproduction; its success cancels everything we would
-			// start now, so wait for it instead of burning CPU.
-			s.cond.Wait()
-			continue
-		}
-		idx := s.next
-		if s.feedback && idx%2 == 0 {
-			if nd, ok := s.frontier.Pop(id); ok {
-				j := &searchJob{idx: idx, directed: true, nd: nd, seed: int64(idx)}
-				s.admitLocked(j)
-				return j
-			}
-			if s.directedLive > 0 {
-				s.cond.Wait()
-				continue
-			}
-		}
-		j := &searchJob{idx: idx, seed: int64(idx)}
-		s.admitLocked(j)
-		return j
-	}
-}
-
-// admitLocked finalizes a composed job's dispatch: consumes the
-// canonical index and updates the occupancy accounting. Runs under
-// s.mu.
-func (s *searchState) admitLocked(j *searchJob) {
-	s.next++
-	s.active++
-	if j.directed {
-		s.directedLive++
-	}
-	s.observeOccupancyLocked()
-}
-
-// runJob produces the attempt's outcome: from the schedule cache when
-// an equivalent attempt already executed (and its failure is not the
-// target bug — reproductions always re-execute so the captured order
-// is fresh), otherwise by running the simulated execution.
-func (s *searchState) runJob(id int, j *searchJob) {
-	var key string
-	if s.opts.Cache != nil {
-		seeded := !j.directed && !(s.isBaseline(j))
-		key = trace.ScheduleCacheKey(s.ctx, j.seed, seeded, canonicalFlipKey(j.nd.fs))
-		if e, ok := s.opts.Cache.lookup(key); ok {
-			if !s.isTargetBug(e.failure) {
-				start := time.Now()
-				j.out = attemptOutcome{
-					races:      e.races,
-					horizon:    e.horizon,
-					consumed:   e.consumed,
-					note:       e.note,
-					rawFailure: e.failure,
-					cached:     true,
-				}
-				switch {
-				case e.failure == nil:
-					j.out.clean = true
-				case e.failure.Reason == sched.ReasonDiverged:
-					j.out.diverged = true
-				}
-				j.out.wall = time.Since(start)
-				return
-			}
-			// The cache says this attempt reproduced the target bug
-			// last time. It must re-execute so this search captures a
-			// fresh full order — but flag it so dispatch stops
-			// speculating on attempts its success is about to cancel.
-			s.mu.Lock()
-			if s.likelyWinner < 0 || j.idx < s.likelyWinner {
-				s.likelyWinner = j.idx
-				j.likelyWin = true
-			}
-			s.mu.Unlock()
-		}
-	}
-	var rng *rand.Rand
-	if !j.directed && !s.isBaseline(j) {
-		rng = rand.New(rand.NewSource(j.seed))
-	}
-	var cancel *atomic.Int64
-	if s.maxW > 1 {
-		cancel = &s.cancel
-	}
-	j.out = runAttempt(s.prog, s.rec, j.nd.fs, rng, s.opts, int64(j.idx), cancel)
-	if s.opts.Cache != nil && s.cancel.Load() >= int64(j.idx) {
-		// Store only complete executions: a cancelled attempt's outcome
-		// is truncated. A reproduction's raw failure is stored too — as
-		// the likely-winner hint above — but never served in place of a
-		// re-execution, so every search captures its own order.
-		s.opts.Cache.store(cacheEntry{
-			key:      key,
-			races:    j.out.races,
-			failure:  j.out.rawFailure,
-			horizon:  j.out.horizon,
-			consumed: j.out.consumed,
-			note:     j.out.note,
-		})
-	}
-}
-
-// isBaseline reports whether j is the deterministic sticky-policy
-// attempt with no flips: attempt 0 of a no-feedback search (feedback
-// mode's attempt 0 is the directed frontier root, which is the same
-// execution).
-func (s *searchState) isBaseline(j *searchJob) bool {
-	return !s.feedback && j.idx == 0
-}
-
-func (s *searchState) isTargetBug(f *sched.Failure) bool {
-	return f != nil && f.IsBug() && s.opts.oracle()(f)
-}
-
-// complete hands a finished attempt to the committer: outcomes commit
-// strictly in canonical index order, so whichever worker completes the
-// next-in-order attempt drains everything contiguous behind it.
-func (s *searchState) complete(j *searchJob) {
-	if j.out.bug {
-		// Publish the reproduction immediately (before its canonical
-		// turn): in-flight attempts with higher indices poll this word
-		// and abort at their next scheduling point.
-		for {
-			cur := s.cancel.Load()
-			if int64(j.idx) >= cur || s.cancel.CompareAndSwap(cur, int64(j.idx)) {
-				break
-			}
-		}
-	}
-	s.mu.Lock()
-	s.active--
-	if j.directed {
-		s.directedLive--
-	}
-	if j.likelyWin && s.likelyWinner == j.idx {
-		s.likelyWinner = -1
-	}
-	if m := s.opts.Metrics; m != nil {
-		m.Gauge("pres_replay_workers_active").Set(float64(s.active))
-	}
-	s.pending[j.idx] = j
-	for s.winner < 0 {
-		nj, ok := s.pending[s.commitNext]
-		if !ok {
-			break
-		}
-		delete(s.pending, s.commitNext)
-		s.commitNext++
-		s.commitLocked(nj)
-	}
-	s.retuneLocked()
-	s.mu.Unlock()
-	// Wake parked workers (the target may have grown) and dispatchers
-	// blocked behind a finished search.
-	s.cond.Broadcast()
-}
-
-// commitLocked folds one attempt, in canonical order, into the result:
-// observability, stats, and — for failed directed attempts — feedback
-// children into the frontier. Runs under s.mu.
-func (s *searchState) commitLocked(j *searchJob) {
-	r := s.r
-	r.Attempts++
-	if s.opts.Cache != nil {
-		if j.out.cached {
-			r.Stats.CacheHits++
-		} else {
-			r.Stats.CacheMisses++
-		}
-	}
-	s.opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
-	if j.out.bug {
-		s.winner = j.idx
-		r.Reproduced = true
-		r.Failure = j.out.failure
-		r.Order = j.out.order
-		if j.directed {
-			r.Flips = len(j.nd.fs.flips)
-			r.RootCauses = j.nd.fs.pairs()
-		}
-		return
-	}
-	switch {
-	case j.out.diverged:
-		r.Stats.Divergences++
-	case j.out.clean:
-		r.Stats.CleanRuns++
-	default:
-		r.Stats.OtherFailures++
-	}
-	for _, p := range j.out.races {
-		s.racesSeen[p.Key()] = true
-	}
-	r.Stats.RacesSeen = len(s.racesSeen)
-	if j.directed {
-		r.Stats.FlipsEnqueued += s.appendChildrenLocked(j.nd, j.out)
-	}
-	if m := s.opts.Metrics; m != nil && s.feedback {
-		depth := float64(s.frontier.Len())
-		m.Gauge("pres_replay_frontier_depth").Set(depth)
-		m.Gauge("pres_replay_frontier_depth_peak").SetMax(depth)
-	}
-}
-
-// observeOccupancyLocked samples how many attempts are in flight at
-// dispatch time — the occupancy signal the adaptive controller and the
-// pres_replay_wave_occupancy histogram consume.
-func (s *searchState) observeOccupancyLocked() {
-	if m := s.opts.Metrics; m != nil {
-		m.Histogram("pres_replay_wave_occupancy", waveBuckets).Observe(float64(s.active))
-		m.Gauge("pres_replay_workers_active").Set(float64(s.active))
-	}
-	if !s.occInit {
-		s.occ = float64(s.active)
-		s.occInit = true
-		return
-	}
-	s.occ = 0.8*s.occ + 0.2*float64(s.active)
-}
-
-// retuneLocked is the adaptive pool controller: saturated occupancy
-// grows the target toward Workers, sustained idleness shrinks it
-// toward 1, and the target never exceeds the attempts still left in
-// the budget. Without AdaptiveWorkers the target stays pinned (modulo
-// the budget clamp, which is free parallelism hygiene either way).
-func (s *searchState) retuneLocked() {
-	t := s.maxW
-	if s.opts.AdaptiveWorkers {
-		t = s.target
-		switch {
-		case s.occ >= 0.75*float64(s.target) && s.target < s.maxW:
-			t = s.target + 1
-		case s.occ < 0.4*float64(s.target) && s.target > 1:
-			t = s.target - 1
-		}
-		t = s.hwClampLocked(t)
-	}
-	if remaining := s.budget - s.next; remaining >= 1 && t > remaining {
-		t = remaining
-	}
-	if t < 1 {
-		t = 1
-	}
-	s.target = t
-}
-
-// hwClampLocked bounds an adaptive target by the host's schedulable
-// CPUs: replay attempts are pure compute, so running more of them
-// concurrently than GOMAXPROCS only makes them preempt one another
-// and stretches every attempt's wall clock. The +1 keeps one
-// successor warm behind the running set. Fixed-size pools (no
-// AdaptiveWorkers) honor the caller's Workers choice untouched.
-func (s *searchState) hwClampLocked(t int) int {
-	if !s.opts.AdaptiveWorkers {
-		return t
-	}
-	if hw := runtime.GOMAXPROCS(0) + 1; t > hw {
-		return hw
-	}
-	return t
-}
-
-// canonicalFlipKey is the order-independent identity of a flip set —
-// the dedup and cache key. Distinct sets never collide
-// (trace.FlipSetKey is injective; FuzzFlipSetKey pins it).
-func canonicalFlipKey(fs flipSet) string {
-	if len(fs.flips) == 0 {
-		return ""
-	}
-	ids := make([]trace.FlipID, len(fs.flips))
-	for i, f := range fs.flips {
-		ids[i] = trace.FlipID{
-			Addr:       f.addr,
-			HoldTID:    f.holdTID,
-			HoldCount:  f.holdCount,
-			UntilTID:   f.untilTID,
-			UntilCount: f.untilCnt,
-		}
-	}
-	return trace.FlipSetKey(ids)
-}
-
-// searchDigest hashes everything that determines what a replay attempt
-// of this search executes — program, recording (sketch, inputs, world)
-// and the replay knobs that alter enforcement — into the schedule
-// cache's context component. Searches with equal digests run equal
-// attempts for equal (policy, flip set) pairs.
-func searchDigest(prog *appkit.Program, rec *Recording, opts ReplayOptions) uint64 {
-	d := trace.NewDigest()
-	d.String(prog.Name)
-	d.String(rec.Scheme.String())
-	d.Int(rec.Options.WorldSeed)
-	d.Int(int64(rec.Options.Processors))
-	d.Int(int64(rec.Options.Scale))
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = rec.Options.MaxSteps
-	}
-	d.Word(maxSteps)
-	d.Int(int64(opts.SketchTail))
-	if opts.UseLockset {
-		d.Word(1)
-	} else {
-		d.Word(0)
-	}
-	for _, e := range rec.Sketch.Entries {
-		d.Entry(e)
-	}
-	for _, in := range rec.Inputs.Records {
-		d.Input(in)
-	}
-	return d.Sum()
-}
-
-// replayNode is one point in the directed search tree: a flip set plus
-// the race keys its parent attempt observed — feedback prioritizes races
-// a node's deviation *created*, which localize the next flip to the
-// perturbed neighborhood (the paper's "compare the failed replay with
-// the recording").
-type replayNode struct {
-	fs          flipSet
-	parentRaces map[string]bool
-}
-
-// appendChildrenLocked ranks a failed directed attempt's races and
-// pushes the resulting child flip sets onto the frontier. Ranking:
-// races the parent's deviation newly created beat pre-existing ones
-// (at most two slots go to the latter — they are reachable from other
-// nodes too), and within a tier, races closest to the recorded
-// horizon — the step where the truncated production sketch ran out,
-// i.e. where the production run died — go first; races involving the
-// production run's failing thread lead overall, preferring flips that
-// hold *its* access while the partner slips in.
-//
-// Dedup happens here, under the commit mutex, against canonical flip-
-// set keys — so two orderings of the same flips are one node, and no
-// worker ever observes a half-updated dedup set.
-func (s *searchState) appendChildrenLocked(nd replayNode, out attemptOutcome) int {
-	if len(nd.fs.flips) >= maxFlipDepth {
-		return 0 // deep chains are noise; let siblings run
-	}
-	failTID := s.failTID
-	myRaces := make(map[string]bool, len(out.races))
-	for _, p := range out.races {
-		myRaces[p.Key()] = true
-	}
-	dist := func(p race.Pair) uint64 {
-		d := out.horizon - p.SecondSeq
-		if p.SecondSeq >= out.horizon {
-			d = p.SecondSeq - out.horizon
-		}
-		if failTID != trace.NoTID {
-			switch {
-			case p.First.TID == failTID:
-				// best tier: no penalty
-			case p.Second.TID == failTID:
-				d += 1 << 24
-			default:
-				d += 1 << 32
-			}
-		}
-		return d
-	}
-	byDist := make([]race.Pair, len(out.races))
-	copy(byDist, out.races)
-	sort.SliceStable(byDist, func(i, j int) bool { return dist(byDist[i]) < dist(byDist[j]) })
-
-	added := 0
-	oldSlots := 2
-	for _, wantFresh := range []bool{true, false} {
-		for _, p := range byDist {
-			if added >= s.opts.branch() {
-				break
-			}
-			fresh := nd.parentRaces == nil || !nd.parentRaces[p.Key()]
-			if wantFresh != fresh {
-				continue
-			}
-			if !fresh && oldSlots == 0 {
-				continue
-			}
-			child, ok := nd.fs.with(flipOf(p))
-			if !ok {
-				continue
-			}
-			ck := canonicalFlipKey(child)
-			if s.seen[ck] {
-				continue
-			}
-			s.seen[ck] = true
-			if !fresh {
-				oldSlots--
-			}
-			s.frontier.Push(replayNode{fs: child, parentRaces: myRaces})
-			added++
-		}
-	}
-	return added
-}
-
-// maxFlipDepth caps feedback chains: the breadth-first search tries all
-// single flips, then pairs, and so on; real concurrency bugs virtually
-// always fall within a handful of simultaneous reorderings, and each
-// extra level multiplies the tree by the branch factor.
-const maxFlipDepth = 4
-
-// outcomeName classifies an attempt outcome for progress reporting.
-func outcomeName(out attemptOutcome) string {
-	switch {
-	case out.bug:
-		return "reproduced"
-	case out.clean:
-		return "clean"
-	case out.diverged:
-		return "diverged"
-	default:
-		return "other"
-	}
-}
-
 // Reproduce replays a captured full order and returns the run's result;
 // with a faithful order the recorded bug manifests every time.
 func Reproduce(prog *appkit.Program, rec *Recording, order *trace.FullOrder) *sched.Result {
+	return ReproduceContext(context.Background(), prog, rec, order)
+}
+
+// ReproduceContext replays a captured full order under ctx; a cancelled
+// context unwinds the execution at its next scheduling point with a
+// ReasonCancelled failure.
+func ReproduceContext(ctx context.Context, prog *appkit.Program, rec *Recording, order *trace.FullOrder) *sched.Result {
 	world := vsys.NewWorld(rec.Options.WorldSeed)
 	world.StartReplay(rec.Inputs)
 	return execute(prog, rec.Options, sched.Config{
 		Strategy: &sched.OrderStrategy{Order: order.Order},
 		MaxSteps: rec.Options.MaxSteps,
+		Ctx:      ctx,
 	}, world)
 }

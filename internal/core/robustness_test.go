@@ -149,7 +149,7 @@ func TestParallelReplayCorpusBug(t *testing.T) {
 	if rec == nil {
 		t.Fatal("no buggy seed")
 	}
-	res := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: oracle, Parallelism: 8})
+	res := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: oracle, Workers: 8})
 	if !res.Reproduced {
 		t.Fatalf("not reproduced: %+v", res.Stats)
 	}

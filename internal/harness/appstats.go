@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/sketch"
 	"repro/internal/trace"
 )
@@ -32,7 +31,7 @@ type AppStats struct {
 func CollectAppStats(cfg Config) []AppStats {
 	var out []AppStats
 	for _, p := range apps.All() {
-		rec := core.Record(p, cfg.overheadOptions(sketch.BASE, 1))
+		rec := cfg.record(p, cfg.overheadOptions(sketch.BASE, 1))
 		st := AppStats{
 			App:      p.Name,
 			Category: p.Category,

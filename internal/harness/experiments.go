@@ -48,7 +48,7 @@ func runE1Cell(b apps.BugInfo, s sketch.Scheme, cfg Config) E1Row {
 		return row
 	}
 	row.Seed = seed
-	res := core.Replay(prog, rec, cfg.replayOptions(b.ID))
+	res := cfg.replay(prog, rec, cfg.replayOptions(b.ID))
 	row.Attempts = res.Attempts
 	row.Flips = res.Flips
 	row.Reproduced = res.Reproduced
@@ -85,7 +85,7 @@ func RunE2(schemes []sketch.Scheme, cfg Config) []E2Row {
 	return runCells(cfg, "e2", len(progs)*len(schemes), func(i int) E2Row {
 		p, s := progs[i/len(schemes)], schemes[i%len(schemes)]
 		row := E2Row{App: p.Name, Category: p.Category, Scheme: s}
-		rec := core.Record(p, cfg.overheadOptions(s, 1))
+		rec := cfg.record(p, cfg.overheadOptions(s, 1))
 		if f := rec.Result.Failure; f != nil {
 			row.Err = f
 		} else {
@@ -122,7 +122,7 @@ func RunE3(schemes []sketch.Scheme, cfg Config) []E3Row {
 	return runCells(cfg, "e3", len(progs)*len(schemes), func(i int) E3Row {
 		p, s := progs[i/len(schemes)], schemes[i%len(schemes)]
 		row := E3Row{App: p.Name, Scheme: s}
-		rec := core.Record(p, cfg.overheadOptions(s, 1))
+		rec := cfg.record(p, cfg.overheadOptions(s, 1))
 		if f := rec.Result.Failure; f != nil {
 			row.Err = f
 		} else {
@@ -176,7 +176,7 @@ func RunE4(procs []int, bugs []string, cfg Config) []E4Row {
 			// Overhead is a production metric: measure it on the
 			// app's long patched workload at this processor count.
 			prog, _ := apps.ProgramForBug(bug)
-			prod := core.Record(prog, c.overheadOptions(sketch.SYNC, 1))
+			prod := c.record(prog, c.overheadOptions(sketch.SYNC, 1))
 			row.Overhead = prod.Result.Overhead()
 			row.Attempts = res.Attempts
 			row.Repro = res.Reproduced
@@ -214,10 +214,10 @@ func RunE5(bugs []string, cfg Config) []E5Row {
 			row.Err = err
 			return row
 		}
-		with := core.Replay(prog, rec, cfg.replayOptions(bug))
+		with := cfg.replay(prog, rec, cfg.replayOptions(bug))
 		noFB := cfg.replayOptions(bug)
 		noFB.Feedback = false
-		without := core.Replay(prog, rec, noFB)
+		without := cfg.replay(prog, rec, noFB)
 		row.WithFeedback, row.WithFeedbackOK = with.Attempts, with.Reproduced
 		row.WithoutFeedback, row.WithoutFeedbackOK = without.Attempts, without.Reproduced
 		return row
@@ -347,14 +347,14 @@ func RunE8(cfg Config) []E8Row {
 		if c.SearchCache == nil {
 			c.SearchCache = core.NewSearchCache(0)
 		}
-		res := core.Replay(prog, rec, c.replayOptions(b.ID))
+		res := c.replay(prog, rec, c.replayOptions(b.ID))
 		row.Attempts = res.Attempts
 		row.Flips = res.Flips
 		row.RacesSeen = res.Stats.RacesSeen
 		row.Divergences = res.Stats.Divergences
 		row.CleanRuns = res.Stats.CleanRuns
 		row.Reproduced = res.Reproduced
-		warm := core.Replay(prog, rec, c.replayOptions(b.ID))
+		warm := c.replay(prog, rec, c.replayOptions(b.ID))
 		row.CacheSaved = warm.Stats.CacheHits
 		return row
 	})
@@ -400,7 +400,7 @@ func RunE9(bugs []string, fractions []int, cfg Config) []E9Row {
 				}
 				ropts := cfg.replayOptions(bug)
 				ropts.SketchTail = tail
-				res := core.Replay(prog, rec, ropts)
+				res := cfg.replay(prog, rec, ropts)
 				row.Attempts = res.Attempts
 				row.Reproduced = res.Reproduced
 			}
@@ -445,7 +445,7 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 		var rec *core.Recording
 		for _, procs := range []int{4, 1, 2} {
 			for seed := int64(0); seed < int64(cfg.seedBudget()) && rec == nil; seed++ {
-				r := core.Record(prog, core.Options{
+				r := cfg.record(prog, core.Options{
 					Scheme:       s,
 					Processors:   procs,
 					Preempt:      0.05,
@@ -466,7 +466,7 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 			row.Err = fmt.Errorf("pattern %s never manifested", p.Name)
 			return row
 		}
-		res := core.Replay(prog, rec, cfg.replayOptions(p.BugID))
+		res := cfg.replay(prog, rec, cfg.replayOptions(p.BugID))
 		row.Attempts = res.Attempts
 		row.Reproduced = res.Reproduced
 		return row
@@ -546,7 +546,7 @@ func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
 			var res *core.ReplayResult
 			for i := 0; i < 3; i++ {
 				start := time.Now()
-				r := core.Replay(prog, rec, ropts)
+				r := c.replay(prog, rec, ropts)
 				if ms := float64(time.Since(start)) / float64(time.Millisecond); i == 0 || ms < row.WallMS {
 					row.WallMS = ms
 				}
@@ -556,9 +556,9 @@ func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
 			row.Reproduced = res.Reproduced
 			warmOpts := ropts
 			warmOpts.Cache = core.NewSearchCache(0)
-			core.Replay(prog, rec, warmOpts) // fill
+			c.replay(prog, rec, warmOpts) // fill
 			start := time.Now()
-			warm := core.Replay(prog, rec, warmOpts)
+			warm := c.replay(prog, rec, warmOpts)
 			row.WarmWallMS = float64(time.Since(start)) / float64(time.Millisecond)
 			row.CacheSaved = warm.Stats.CacheHits
 			rows = append(rows, row)

@@ -18,6 +18,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -30,6 +31,12 @@ import (
 
 // Config parameterizes a whole experiment run.
 type Config struct {
+	// Ctx, when non-nil, bounds every execution the harness performs:
+	// seed searches, recordings and replay searches all observe it, so
+	// cancelling it (presbench -timeout, SIGINT) winds the whole run
+	// down cooperatively with partial results intact. Nil means no
+	// bound.
+	Ctx context.Context
 	// Processors models the production machine; the paper's testbed was
 	// an 8-core, most experiments shown at 4. Default 4.
 	Processors int
@@ -75,6 +82,23 @@ type Config struct {
 	// Trace, when non-nil, receives every replay attempt's structured
 	// event across all experiments.
 	Trace *obs.TraceSink
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// record and replay are the harness's only paths into core: every
+// recording and every search runs under the config context.
+func (c Config) record(prog *appkit.Program, opts core.Options) *core.Recording {
+	return core.RecordContext(c.ctx(), prog, opts)
+}
+
+func (c Config) replay(prog *appkit.Program, rec *core.Recording, ropts core.ReplayOptions) *core.ReplayResult {
+	return core.ReplayContext(c.ctx(), prog, rec, ropts)
 }
 
 func (c Config) processors() int {
@@ -188,7 +212,10 @@ func (c Config) timeExperiment(exp string) func() {
 func FindBuggySeed(prog *appkit.Program, bugID string, scheme sketch.Scheme, cfg Config) (int64, *core.Recording, error) {
 	oracle := core.MatchBugID(bugID)
 	for seed := int64(0); seed < int64(cfg.seedBudget()); seed++ {
-		rec := core.Record(prog, cfg.options(scheme, seed))
+		if err := cfg.ctx().Err(); err != nil {
+			return -1, nil, err
+		}
+		rec := cfg.record(prog, cfg.options(scheme, seed))
 		if f := rec.BugFailure(); f != nil && oracle(f) {
 			return seed, rec, nil
 		}
@@ -201,7 +228,10 @@ func FindBuggySeed(prog *appkit.Program, bugID string, scheme sketch.Scheme, cfg
 // run must represent steady-state production service.
 func FindCleanSeed(prog *appkit.Program, cfg Config) (int64, error) {
 	for seed := int64(0); seed < int64(cfg.seedBudget()); seed++ {
-		rec := core.Record(prog, cfg.options(sketch.BASE, seed))
+		if err := cfg.ctx().Err(); err != nil {
+			return -1, err
+		}
+		rec := cfg.record(prog, cfg.options(sketch.BASE, seed))
 		if rec.Result.Failure == nil {
 			return seed, nil
 		}
@@ -220,6 +250,6 @@ func ReproduceBug(bugID string, scheme sketch.Scheme, cfg Config) (*core.Recordi
 	if err != nil {
 		return nil, nil, err
 	}
-	res := core.Replay(prog, rec, cfg.replayOptions(bugID))
+	res := cfg.replay(prog, rec, cfg.replayOptions(bugID))
 	return rec, res, nil
 }

@@ -2,11 +2,13 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"runtime"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/obs"
 	"repro/internal/sketch"
 )
@@ -15,9 +17,11 @@ func TestPoolRunsEveryCellOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
 		for _, n := range []int{0, 1, 5, 100} {
 			hits := make([]atomic.Int32, max(n, 1))
-			NewPool(workers, "test", nil).Run(n, func(i int) {
+			if err := NewPool(workers, "test", nil).Run(context.Background(), n, func(i int) {
 				hits[i].Add(1)
-			})
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: err = %v", workers, n, err)
+			}
 			for i := 0; i < n; i++ {
 				if got := hits[i].Load(); got != 1 {
 					t.Fatalf("workers=%d n=%d: cell %d ran %d times", workers, n, i, got)
@@ -29,7 +33,9 @@ func TestPoolRunsEveryCellOnce(t *testing.T) {
 
 func TestPoolMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
-	NewPool(4, "e2", reg).Run(10, func(int) {})
+	if err := NewPool(4, "e2", reg).Run(context.Background(), 10, func(int) {}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
 	snap := reg.Snapshot()
 	if got := snap.Counters[`pres_harness_cells_total{exp="e2"}`]; got != 10 {
 		t.Fatalf("cells_total = %d, want 10 (counters: %v)", got, snap.Counters)
@@ -110,6 +116,34 @@ func TestJobsDeterminism(t *testing.T) {
 	}
 }
 
+func TestPoolCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	if err := NewPool(4, "test", nil).Run(ctx, 10, func(i int) { ran++ }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d cells ran under a dead context", ran)
+	}
+}
+
+func TestHarnessCancelledContextStopsSeedSearch(t *testing.T) {
+	// Config.Ctx threads down to every harness loop: a dead context ends
+	// the seed search on its first iteration with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := fastCfg
+	cfg.Ctx = ctx
+	prog, _ := apps.Get("fft")
+	if _, _, err := FindBuggySeed(prog, "fft-barrier", sketch.SYNC, cfg); err != context.Canceled {
+		t.Fatalf("FindBuggySeed err = %v, want context.Canceled", err)
+	}
+	if _, err := FindCleanSeed(prog, cfg); err != context.Canceled {
+		t.Fatalf("FindCleanSeed err = %v, want context.Canceled", err)
+	}
+}
+
 // TestPoolStress hammers one pool with many more cells than workers;
 // under -race (the Makefile stress target) this is the concurrency
 // gate for the dispatch index and the per-slot commit discipline.
@@ -117,9 +151,11 @@ func TestPoolStress(t *testing.T) {
 	const n = 10_000
 	reg := obs.NewRegistry()
 	out := make([]int, n)
-	NewPool(2*runtime.GOMAXPROCS(0), "stress", reg).Run(n, func(i int) {
+	if err := NewPool(2*runtime.GOMAXPROCS(0), "stress", reg).Run(context.Background(), n, func(i int) {
 		out[i] = i * i
-	})
+	}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
 	for i, v := range out {
 		if v != i*i {
 			t.Fatalf("slot %d = %d", i, v)

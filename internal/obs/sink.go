@@ -44,6 +44,10 @@ type AttemptEvent struct {
 	// Cached marks an attempt answered by the schedule cache instead of
 	// an execution; its outcome fields reproduce the memoized run.
 	Cached bool `json:"cached,omitempty"`
+	// Cancelled marks an attempt the search's context cut short: the
+	// execution unwound at a scheduling point, so the outcome describes
+	// a truncated run.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // RecordEvent is the trace record of one production run (a presrun
@@ -73,6 +77,10 @@ type SummaryEvent struct {
 	// omitted when the search ran without a cache.
 	CacheHits   int `json:"cache_hits,omitempty"`
 	CacheMisses int `json:"cache_misses,omitempty"`
+	// Cancelled marks a search ended by context cancellation or deadline
+	// rather than by reproduction or budget exhaustion; the counts above
+	// describe the committed prefix.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // TraceSink writes structured events as JSON Lines. It is safe for

@@ -21,6 +21,11 @@ const (
 	// ReasonDiverged: a replay strategy could no longer honor its
 	// recorded schedule.
 	ReasonDiverged
+	// ReasonCancelled: the execution's context (Config.Ctx) was
+	// cancelled or its deadline expired; the run was unwound at the next
+	// scheduling point. Like ReasonDiverged it is a machinery outcome,
+	// never a manifested bug.
+	ReasonCancelled
 	// reasonStopped is internal: the thread was unwound at shutdown.
 	reasonStopped
 )
@@ -38,6 +43,8 @@ func (r FailureReason) String() string {
 		return "step-limit"
 	case ReasonDiverged:
 		return "diverged"
+	case ReasonCancelled:
+		return "cancelled"
 	case reasonStopped:
 		return "stopped"
 	default:

@@ -19,6 +19,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -84,6 +85,12 @@ type Strategy interface {
 type Config struct {
 	Strategy  Strategy   // required
 	Observers []Observer // called in order for every committed event
+	// Ctx, when non-nil, bounds the execution: the scheduler polls it
+	// (non-blocking) at every grant point and fails the run with
+	// ReasonCancelled once it is done, then unwinds every thread — the
+	// cooperative-cancellation seam Record/Replay thread the public
+	// context through. Nil (the default) keeps the loop select-free.
+	Ctx context.Context
 	// MaxSteps bounds the execution; exceeding it fails the run with
 	// ReasonStepLimit. 0 means DefaultMaxSteps.
 	MaxSteps uint64
@@ -146,7 +153,8 @@ type Scheduler struct {
 	step     uint64
 	failure  *Failure
 	res      Result
-	sleepReq bool // set by EffectCtx.Sleep during the current grant
+	sleepReq bool            // set by EffectCtx.Sleep during the current grant
+	ctxDone  <-chan struct{} // Config.Ctx's done channel, nil when unset
 
 	// Pre-resolved metric instruments (nil when Config.Metrics is nil;
 	// their methods are then single-nil-check no-ops).
@@ -175,6 +183,9 @@ func Run(root func(*Thread), cfg Config) *Result {
 		s.mSteps = cfg.Metrics.Counter("sched_steps_total")
 		s.mPicks = cfg.Metrics.Counter("sched_picks_total")
 		s.mThreads = cfg.Metrics.Counter("sched_threads_total")
+	}
+	if cfg.Ctx != nil {
+		s.ctxDone = cfg.Ctx.Done()
 	}
 	t0 := s.addThread("main", trace.NoTID)
 	s.inflight = 1
@@ -251,6 +262,19 @@ func (s *Scheduler) loop() {
 		if s.failure != nil || s.live == 0 {
 			s.shutdown()
 			return
+		}
+		if s.ctxDone != nil {
+			// Non-blocking poll: cancellation lands at the next grant
+			// point, never mid-effect, so the unwind sees a consistent
+			// simulation state.
+			select {
+			case <-s.ctxDone:
+				s.failure = &Failure{Reason: ReasonCancelled, Step: s.step,
+					Msg: "execution cancelled: " + s.cfg.Ctx.Err().Error()}
+				s.shutdown()
+				return
+			default:
+			}
 		}
 		if s.step >= s.cfg.MaxSteps {
 			s.failure = &Failure{Reason: ReasonStepLimit, Step: s.step,

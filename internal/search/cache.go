@@ -1,0 +1,122 @@
+package search
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/race"
+	"repro/internal/sched"
+)
+
+// DefaultCacheSize is the entry cap a zero-capacity NewCache gets:
+// roomy enough for several full-budget searches (the paper's budget is
+// 1000 attempts) before eviction starts.
+const DefaultCacheSize = 4096
+
+// Cache is the cross-attempt schedule cache: it memoizes the outcome
+// of replay attempts keyed by their canonical identity
+// (trace.ScheduleCacheKey — search-context digest, schedule policy and
+// canonical flip set), so re-running an equivalent attempt — in a later
+// search over the same recording, or from another worker's duplicate
+// frontier path — costs a map lookup instead of a full simulated
+// execution.
+//
+// A hit changes wall-clock only, never the search trajectory: the
+// cached outcome is exactly what the execution would have produced
+// (the key pins everything the execution depends on), it still
+// consumes an attempt slot, and reproductions are never served from
+// the cache — an attempt whose stored failure matches the current
+// oracle is re-executed so the search captures a fresh FullOrder.
+// Cancelled attempts are never stored either: their outcomes are
+// truncated (internal/core enforces both rules at its call sites).
+//
+// The cache is safe for concurrent use by any number of searches and
+// workers; a nil *Cache disables caching everywhere it is consulted.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recent
+	m      map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// Entry is the replayable summary of one executed attempt: enough to
+// reconstruct its outcome under any oracle. The captured order is
+// deliberately absent — reproductions always re-execute.
+type Entry struct {
+	Key      string
+	Races    []race.Pair
+	Failure  *sched.Failure // the attempt's raw failure, nil if clean
+	Horizon  uint64
+	Consumed int
+	Note     string
+}
+
+// NewCache returns an empty cache holding at most capacity entries
+// (<=0 selects DefaultCacheSize), evicting least-recently used.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Lookup returns the stored entry for key and promotes it, or ok=false
+// on a miss. Hit/miss tallies feed Stats.
+func (c *Cache) Lookup(key string) (Entry, bool) {
+	if c == nil {
+		return Entry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(Entry), true
+	}
+	c.misses++
+	return Entry{}, false
+}
+
+// Store records an executed attempt's summary, evicting the
+// least-recently-used entry when full.
+func (c *Cache) Store(e Entry) {
+	if c == nil || e.Key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.Key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.m[e.Key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(Entry).Key)
+	}
+}
+
+// Len returns the number of cached attempt outcomes.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns lifetime lookup tallies across every search that
+// shared the cache.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,86 @@
+package search
+
+import "testing"
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Store(Entry{Key: "a", Note: "a"})
+	c.Store(Entry{Key: "b", Note: "b"})
+	if _, ok := c.Lookup("a"); !ok { // promotes a
+		t.Fatal("a missing")
+	}
+	c.Store(Entry{Key: "c", Note: "c"}) // evicts b, the LRU
+	if _, ok := c.Lookup("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if e, ok := c.Lookup(k); !ok || e.Note != k {
+			t.Fatalf("%s missing or wrong after eviction", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 3 hits 1 miss", hits, misses)
+	}
+	c.Store(Entry{Key: "a", Note: "a2"}) // update in place
+	if e, _ := c.Lookup("a"); e.Note != "a2" {
+		t.Fatal("update did not replace the entry")
+	}
+}
+
+func TestCacheNilAndEmptyKeySafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Lookup("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Store(Entry{Key: "x"})
+	if c.Len() != 0 {
+		t.Fatal("nil cache grew")
+	}
+	real := NewCache(0)
+	real.Store(Entry{Key: ""})
+	if real.Len() != 0 {
+		t.Fatal("empty key stored")
+	}
+}
+
+func TestPolicyComposition(t *testing.T) {
+	// The three built-in policies must compose attempts exactly as the
+	// pre-seam engine did: FeedbackDirected alternates directed/random
+	// with every random attempt seeded; Probabilistic keeps attempt 0 as
+	// the sticky baseline; StickyDirected never directs or seeds.
+	fd := FeedbackDirected{}
+	if !fd.UsesFeedback() {
+		t.Fatal("FeedbackDirected must use feedback")
+	}
+	for idx := 0; idx < 10; idx++ {
+		if got, want := fd.Directed(idx), idx%2 == 0; got != want {
+			t.Fatalf("FeedbackDirected.Directed(%d) = %v, want %v", idx, got, want)
+		}
+		if !fd.Seeded(idx) {
+			t.Fatalf("FeedbackDirected.Seeded(%d) = false", idx)
+		}
+	}
+	pr := Probabilistic{}
+	if pr.UsesFeedback() {
+		t.Fatal("Probabilistic must not use feedback")
+	}
+	if pr.Seeded(0) {
+		t.Fatal("Probabilistic attempt 0 must be the sticky baseline")
+	}
+	for idx := 1; idx < 10; idx++ {
+		if pr.Directed(idx) {
+			t.Fatalf("Probabilistic.Directed(%d) = true", idx)
+		}
+		if !pr.Seeded(idx) {
+			t.Fatalf("Probabilistic.Seeded(%d) = false", idx)
+		}
+	}
+	st := StickyDirected{}
+	if st.UsesFeedback() || st.Directed(4) || st.Seeded(4) {
+		t.Fatal("StickyDirected must neither direct nor seed")
+	}
+}

@@ -1,36 +1,25 @@
-package core
+package search
 
 import (
 	"sync"
 	"testing"
 )
 
-// nodeAtDepth fabricates a replayNode whose flip-set depth is d and
-// whose identity encodes tag (distinct tags => distinct canonical keys).
-func nodeAtDepth(d int, tag uint64) replayNode {
-	fs := flipSet{}
-	for i := 0; i < d; i++ {
-		fs.flips = append(fs.flips, flip{addr: tag, holdTID: 1, holdCount: uint64(i + 1), untilTID: 2, untilCnt: uint64(i + 1)})
-	}
-	return replayNode{fs: fs}
-}
-
 func TestFrontierSingleShardIsFIFO(t *testing.T) {
 	// One shard (the workers=1 shape) must pop in exact push order when
 	// depth never decreases — the sequential engine's BFS queue.
-	f := newShardedFrontier(1)
+	f := NewFrontier[uint64](1)
 	var want []uint64
 	for i := uint64(0); i < 20; i++ {
 		depth := 1 + int(i/5) // non-decreasing, like a search tree
-		f.Push(nodeAtDepth(depth, i))
+		f.Push(i, depth)
 		want = append(want, i)
 	}
 	for i, tag := range want {
-		nd, ok := f.Pop(0)
+		got, ok := f.Pop(0)
 		if !ok {
 			t.Fatalf("pop %d: frontier empty early", i)
 		}
-		got := nd.fs.flips[0].addr
 		if got != tag {
 			t.Fatalf("pop %d: got tag %d, want %d (FIFO broken)", i, got, tag)
 		}
@@ -41,26 +30,26 @@ func TestFrontierSingleShardIsFIFO(t *testing.T) {
 }
 
 func TestFrontierPriorityAcrossShards(t *testing.T) {
-	// Shallower nodes pop first even when pushed later and landed on
+	// Shallower items pop first even when pushed later and landed on
 	// other shards: the breadth-first shape survives sharding.
-	f := newShardedFrontier(4)
+	f := NewFrontier[uint64](4)
 	for i := uint64(0); i < 8; i++ {
-		f.Push(nodeAtDepth(3, 100+i))
+		f.Push(100+i, 3)
 	}
-	f.Push(nodeAtDepth(1, 7))
-	nd, ok := f.Pop(2)
-	if !ok || len(nd.fs.flips) != 1 {
-		t.Fatalf("expected the depth-1 node first, got depth %d", len(nd.fs.flips))
+	f.Push(7, 1)
+	got, ok := f.Pop(2)
+	if !ok || got != 7 {
+		t.Fatalf("expected the depth-1 item first, got %d (ok=%v)", got, ok)
 	}
 	if f.Len() != 8 {
 		t.Fatalf("Len = %d, want 8", f.Len())
 	}
 }
 
-func TestFrontierConcurrentNeverLosesNodes(t *testing.T) {
-	// Hammer pushes and pops from many goroutines: every pushed node is
+func TestFrontierConcurrentNeverLosesItems(t *testing.T) {
+	// Hammer pushes and pops from many goroutines: every pushed item is
 	// popped exactly once. Runs under -race in the tier-1 gate.
-	f := newShardedFrontier(8)
+	f := NewFrontier[uint64](8)
 	const producers, perProducer = 8, 200
 	var mu sync.Mutex
 	seen := make(map[uint64]int)
@@ -71,7 +60,7 @@ func TestFrontierConcurrentNeverLosesNodes(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
 				tag := uint64(p*perProducer + i)
-				f.Push(nodeAtDepth(1+int(tag%3), tag))
+				f.Push(tag, 1+int(tag%3))
 			}
 		}(p)
 	}
@@ -83,7 +72,7 @@ func TestFrontierConcurrentNeverLosesNodes(t *testing.T) {
 		go func(home int) {
 			defer cg.Done()
 			for {
-				nd, ok := f.Pop(home)
+				tag, ok := f.Pop(home)
 				if !ok {
 					select {
 					case <-prodDone:
@@ -95,18 +84,18 @@ func TestFrontierConcurrentNeverLosesNodes(t *testing.T) {
 					continue
 				}
 				mu.Lock()
-				seen[nd.fs.flips[0].addr]++
+				seen[tag]++
 				mu.Unlock()
 			}
 		}(c)
 	}
 	cg.Wait()
 	if len(seen) != producers*perProducer {
-		t.Fatalf("popped %d distinct nodes, want %d", len(seen), producers*perProducer)
+		t.Fatalf("popped %d distinct items, want %d", len(seen), producers*perProducer)
 	}
 	for tag, n := range seen {
 		if n != 1 {
-			t.Fatalf("node %d popped %d times", tag, n)
+			t.Fatalf("item %d popped %d times", tag, n)
 		}
 	}
 }

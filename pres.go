@@ -48,6 +48,7 @@ import (
 	"repro/internal/patterns"
 	"repro/internal/race"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/sketch"
 	"repro/internal/ssync"
 	"repro/internal/trace"
@@ -152,6 +153,11 @@ type (
 	// SearchCache memoizes replay-attempt outcomes across searches and
 	// workers (set ReplayOptions.Cache); see NewSearchCache.
 	SearchCache = core.SearchCache
+	// SearchPolicy composes the replay search's attempt kinds — which
+	// canonical indices pop the directed frontier and which sample the
+	// sketch-constrained space randomly (set ReplayOptions.Policy; nil
+	// derives one from ReplayOptions.Feedback).
+	SearchPolicy = search.Policy
 	// FullOrder is a captured total schedule that reproduces a bug
 	// deterministically.
 	FullOrder = trace.FullOrder
@@ -175,6 +181,15 @@ var (
 	Replay = core.Replay
 	// Reproduce replays a captured full order verbatim.
 	Reproduce = core.Reproduce
+	// RecordContext, ReplayContext and ReproduceContext are the
+	// context-aware forms: cancelling the context (or exceeding its
+	// deadline) winds the execution down cooperatively at the next
+	// scheduling point — a cancelled search drains its worker pool,
+	// commits the attempts that already finished, and reports the
+	// context's error in ReplayResult.Err.
+	RecordContext    = core.RecordContext
+	ReplayContext    = core.ReplayContext
+	ReproduceContext = core.ReproduceContext
 	// MatchBugID builds an oracle for a specific corpus bug id.
 	MatchBugID = core.MatchBugID
 	// NewSearchCache returns an empty cross-attempt schedule cache
@@ -191,6 +206,17 @@ var (
 	// Advise turns a failed replay search's statistics into guidance:
 	// which knob (sketch density, budget, oracle) is binding.
 	Advise = core.Advise
+)
+
+// The built-in search policies (see SearchPolicy): FeedbackDirected is
+// the paper's alternating directed/probabilistic composition,
+// Probabilistic the E5 random-sampling ablation (attempt 0 stays the
+// deterministic sticky baseline), StickyDirected pure deterministic
+// sketch enforcement.
+var (
+	FeedbackDirectedPolicy SearchPolicy = search.FeedbackDirected{}
+	ProbabilisticPolicy    SearchPolicy = search.Probabilistic{}
+	StickyDirectedPolicy   SearchPolicy = search.StickyDirected{}
 )
 
 // Explore exhaustively enumerates every schedule of a small program — a
