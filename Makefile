@@ -7,8 +7,9 @@ FUZZTIME ?= 30s
 .PHONY: check build vet lint test bench stress fuzz-short
 
 ## check: the full gate — build everything, lint (gofmt + vet), test
-## under -race, stress the search engine, and give every fuzz target a
-## short budget.
+## under -race (including the fast-path equivalence properties in
+## internal/sched and internal/core), stress the search engine, and
+## give every fuzz target a short budget.
 check: build lint stress fuzz-short
 	$(GO) test -race ./...
 
@@ -37,6 +38,7 @@ test:
 stress:
 	$(GO) test -race -count=2 ./internal/core/...
 	$(GO) test -race -count=2 -run 'TestPool|TestJobs|TestMetricsDeterministic' ./internal/harness/...
+	$(GO) test -race -count=2 -run 'TestProp|TestRunCancellation' ./internal/sched/...
 
 ## fuzz-short: run every native fuzz target in internal/trace for
 ## FUZZTIME each (the canonical-key collision-freedom targets plus the
@@ -49,11 +51,15 @@ fuzz-short:
 
 ## bench: substrate micro-benchmarks, including the observability
 ## overhead pairs (SchedulingPointMetricsOff/On, ReplaySearchMetricsOff/On)
-## that back OBSERVABILITY.md's disabled-means-free claim, and the
+## that back OBSERVABILITY.md's disabled-means-free claim, the
 ## wire-format/harness-pool benches (BenchmarkEncodeSketch*,
-## BenchmarkHarnessMatrix*). presperf distills the PR's headline
-## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2, and
-## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS — into BENCH_pr3.json.
+## BenchmarkHarnessMatrix*), and the grant-loop trio
+## (BenchmarkSchedulingPoint/SingleStep/Batch) with its zero-alloc
+## gate (TestSchedGrantLoopAllocFree). presperf distills the headline
+## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2,
+## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS, and the run-grant
+## fast path's per-app steps/sec, handoffs/step, and allocs/step
+## before vs after — into BENCH_pr5.json.
 bench:
-	$(GO) test -run NONE -bench . -benchtime 1s .
-	$(GO) run ./cmd/presperf -out BENCH_pr3.json
+	$(GO) test -run TestSchedGrantLoopAllocFree -bench . -benchtime 1s .
+	$(GO) run ./cmd/presperf -out BENCH_pr5.json

@@ -1,15 +1,21 @@
-// Presperf measures the two performance claims of the parallel-harness
-// / wire-format-v2 work and writes them to a JSON file (BENCH_pr3.json
-// via the Makefile bench target):
+// Presperf measures the repo's performance claims and writes them to a
+// JSON file (BENCH_pr5.json via the Makefile bench target):
 //
 //  1. sketch-encoder density and speed per scheme, v1 vs v2, on a real
 //     recorded mysqld production run;
 //  2. experiment-matrix wall-clock (E2 and E8) at -j 1 vs -j
-//     GOMAXPROCS, with a byte-identity check on the rendered tables.
+//     GOMAXPROCS, with a byte-identity check on the rendered tables;
+//  3. the run-grant fast path: per-app production recording
+//     (FixBugs=true, like the E2 overhead runs) before vs after —
+//     before is the pre-batching scheduler (SingleStep+NoBatch: one
+//     pick, one handoff, and fresh per-step allocations per committed
+//     op), after is the default fast path with declared batches.
+//     Reported per app: steps/sec, handoffs/step, allocs/step, and the
+//     fraction of steps committed without a fresh pick.
 //
 // Usage:
 //
-//	presperf -out BENCH_pr3.json
+//	presperf -out BENCH_pr5.json
 package main
 
 import (
@@ -23,9 +29,11 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/appkit"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/sched"
 	"repro/internal/sketch"
 	"repro/internal/trace"
 )
@@ -51,11 +59,26 @@ type harnessResult struct {
 	TablesIdentical bool    `json:"tables_identical"`
 }
 
+type schedResult struct {
+	App                   string  `json:"app"`
+	BeforeSteps           uint64  `json:"before_steps"`
+	AfterSteps            uint64  `json:"after_steps"`
+	BeforeStepsPerSec     float64 `json:"before_steps_per_sec"`
+	AfterStepsPerSec      float64 `json:"after_steps_per_sec"`
+	Speedup               float64 `json:"speedup"`
+	BeforeHandoffsPerStep float64 `json:"before_handoffs_per_step"`
+	AfterHandoffsPerStep  float64 `json:"after_handoffs_per_step"`
+	BeforeAllocsPerStep   float64 `json:"before_allocs_per_step"`
+	AfterAllocsPerStep    float64 `json:"after_allocs_per_step"`
+	FastPathStepFrac      float64 `json:"fastpath_step_frac"`
+}
+
 type report struct {
 	Tool       string          `json:"tool"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Encode     []encodeResult  `json:"encode"`
 	Harness    []harnessResult `json:"harness"`
+	Sched      []schedResult   `json:"sched"`
 }
 
 // countWriter measures encoded size without retaining bytes.
@@ -69,9 +92,10 @@ func (w *countWriter) Write(p []byte) (int, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presperf: ")
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
 	scale := flag.Int("scale", 400, "workload scale for the recorded run")
 	overheadScale := flag.Int("overhead-scale", 150, "workload scale for the harness matrix timing")
+	schedScale := flag.Int("sched-scale", 300, "workload scale for the fast-path before/after runs")
 	reps := flag.Int("reps", 3, "timing repetitions (best-of)")
 	flag.Parse()
 
@@ -130,6 +154,15 @@ func main() {
 		}),
 	)
 
+	for _, prog := range apps.All() {
+		r := timeSched(prog, *schedScale, *reps)
+		rep.Sched = append(rep.Sched, r)
+		fmt.Printf("sched %-13s %6.2fx steps/s (%.2fM -> %.2fM)  handoffs/step %.3f -> %.3f  allocs/step %.2f -> %.2f  fastpath %.0f%%\n",
+			r.App, r.Speedup, r.BeforeStepsPerSec/1e6, r.AfterStepsPerSec/1e6,
+			r.BeforeHandoffsPerStep, r.AfterHandoffsPerStep,
+			r.BeforeAllocsPerStep, r.AfterAllocsPerStep, 100*r.FastPathStepFrac)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -159,6 +192,72 @@ func timeEncode(l *trace.SketchLog, enc func(io.Writer, *trace.SketchLog) error)
 		}
 	}
 	return best
+}
+
+// timeSched records one app's patched production run (the E2 overhead
+// configuration) under the pre-batching scheduler (SingleStep+NoBatch)
+// and under the run-grant fast path, best-of-reps each, and reports the
+// per-step cost in wall time, handoffs, and heap allocations. The two
+// modes record different schedules (batches feed the run-aware
+// strategies), so rates are normalized by each mode's own step count.
+func timeSched(prog *appkit.Program, scale, reps int) schedResult {
+	opts := core.Options{
+		Scheme:       sketch.SYNC,
+		Processors:   4,
+		ScheduleSeed: 1,
+		WorldSeed:    1,
+		Scale:        scale,
+		MaxSteps:     5_000_000,
+		FixBugs:      true,
+	}
+	before := opts
+	before.SingleStep = true
+	before.NoBatch = true
+
+	r := schedResult{App: prog.Name}
+	var res *sched.Result
+	r.BeforeSteps, r.BeforeStepsPerSec, r.BeforeAllocsPerStep, res = measureRecord(prog, before, reps)
+	r.BeforeHandoffsPerStep = float64(res.Handoffs) / float64(res.Steps)
+	r.AfterSteps, r.AfterStepsPerSec, r.AfterAllocsPerStep, res = measureRecord(prog, opts, reps)
+	r.AfterHandoffsPerStep = float64(res.Handoffs) / float64(res.Steps)
+	r.FastPathStepFrac = float64(res.FastPathSteps) / float64(res.Steps)
+	r.Speedup = r.AfterStepsPerSec / r.BeforeStepsPerSec
+	return r
+}
+
+// measureRecord runs core.Record reps times and returns the step count,
+// the best observed steps/sec, the lowest observed allocs/step (mallocs
+// are read process-wide, so the minimum over repetitions is the least
+// contaminated sample), and the final run's scheduler result.
+func measureRecord(prog *appkit.Program, opts core.Options, reps int) (uint64, float64, float64, *sched.Result) {
+	var (
+		bestRate   float64
+		bestAllocs float64
+		res        *sched.Result
+	)
+	var ms runtime.MemStats
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs
+		start := time.Now()
+		rec := core.Record(prog, opts)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		res = rec.Result
+		if res == nil || res.Steps == 0 {
+			log.Fatalf("%s: empty recording", prog.Name)
+		}
+		rate := float64(res.Steps) / wall.Seconds()
+		allocs := float64(ms.Mallocs-mallocs) / float64(res.Steps)
+		if i == 0 || rate > bestRate {
+			bestRate = rate
+		}
+		if i == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	return res.Steps, bestRate, bestAllocs, res
 }
 
 // timeMatrix times one experiment's full matrix at -j 1 and

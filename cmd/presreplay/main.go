@@ -175,6 +175,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("reproduced in %d attempts (%d race flips): %v\n", res.Attempts, res.Flips, res.Failure)
+	if res.Stats.Steps > 0 {
+		fmt.Printf("  scheduler: %d steps, %d handoffs (%.3f/step), %d fast-path steps\n",
+			res.Stats.Steps, res.Stats.Handoffs,
+			float64(res.Stats.Handoffs)/float64(res.Stats.Steps), res.Stats.FastPathSteps)
+	}
 	for _, rc := range res.RootCauses {
 		fmt.Printf("  root-cause race: %v\n", rc)
 	}

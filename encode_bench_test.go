@@ -2,7 +2,7 @@
 // wire format v2): encoder throughput and density per scheme in both
 // wire versions, the streaming Recording.Write path, and the harness
 // cell-pool's matrix wall-clock at -j 1 vs -j GOMAXPROCS. cmd/presperf
-// distills the same measurements into BENCH_pr3.json.
+// distills the same measurements into BENCH_pr5.json.
 package repro_test
 
 import (

@@ -112,14 +112,22 @@ const DefaultBlockAccesses = 4
 // the region needs no effect and no race-detector attention; only its
 // cost and recording weight matter.
 func Block(t *sched.Thread, name string, n int) {
+	t.Point(BlockOp(name, n))
+}
+
+// BlockOp returns the scheduling-point op Block performs, for declaring
+// straight-line runs with sched.Thread.PointBatch: a basic block
+// followed by the shared accesses it feeds is the canonical batch shape
+// in the compute kernels.
+func BlockOp(name string, n int) *sched.Op {
 	if n < 1 {
 		n = 1
 	}
-	t.Point(&sched.Op{
+	return &sched.Op{
 		Kind: trace.KindBB,
 		Obj:  BBID(name),
 		Arg:  uint64(n),
 		Cost: uint64(n) * trace.CostUnit,
 		Desc: "bb " + name,
-	})
+	}
 }

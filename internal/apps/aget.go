@@ -47,15 +47,20 @@ func runAget(env *appkit.Env) {
 
 	fetch := func(t *sched.Thread, chunk int) {
 		appkit.Func(t, "aget.http_get", func() {
-			// Receive and buffer the range body: private copy work.
-			appkit.Block(t, "aget.recv_copy", 9000)
-			appkit.BB(t, "aget.recv_body")
-			// "Receive" the range: hash-mix to simulate the copy loop.
+			// Receive and buffer the range body. The copy and hash-mix
+			// are private work, so the whole receive path is declared as
+			// one run and commits under a single handoff.
 			var sum uint64
 			for k := 0; k < 3; k++ {
-				appkit.BB(t, "aget.copy_loop")
 				sum = sum*6364136223846793005 + uint64(chunk*16+k)
 			}
+			t.PointBatch(
+				appkit.BlockOp("aget.recv_copy", 9000),
+				appkit.BlockOp("aget.recv_body", appkit.DefaultBlockAccesses),
+				appkit.BlockOp("aget.copy_loop", appkit.DefaultBlockAccesses),
+				appkit.BlockOp("aget.copy_loop", appkit.DefaultBlockAccesses),
+				appkit.BlockOp("aget.copy_loop", appkit.DefaultBlockAccesses),
+			)
 			fd := w.Open(t, "/tmp/aget.out")
 
 			// BUG: two-variable progress update with no lock — bwritten

@@ -99,10 +99,13 @@ func runApached(env *appkit.Env) {
 			connState.Store(t, conn, 1)
 			connLock.Unlock(t)
 
-			// Parse headers and render the response body: private work.
-			appkit.Block(t, "apache.parse_render", 6000)
-			// Handle: deterministic compute over the doc cache.
-			appkit.BB(t, "apache.handle")
+			// Parse headers and render the response body: private work,
+			// declared as one run with the handler-entry block so both
+			// commit under a single handoff.
+			t.PointBatch(
+				appkit.BlockOp("apache.parse_render", 6000),
+				appkit.BlockOp("apache.handle", appkit.DefaultBlockAccesses),
+			)
 			h := uint64(req[0])
 			for k := 0; k < 3; k++ {
 				appkit.BB(t, "apache.handle_loop")

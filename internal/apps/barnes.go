@@ -63,12 +63,16 @@ func runBarnes(env *appkit.Env) {
 			}
 			parent := uint64(body) % id // walk shortened to a hash step
 			if env.FixBugs {
-				// Patched: initialize, then publish.
-				appkit.BB(t, "barnes.init_node")
-				mass.Store(t, int(id), uint64(body)+1)
-				ready.Store(t, int(id), readyTag)
-				appkit.BB(t, "barnes.link_child")
-				children.Store(t, int(parent), id)
+				// Patched: initialize, then publish. Correctly ordered
+				// straight-line stores, so the whole sequence batches
+				// under one handoff (every interleaving point is safe).
+				t.PointBatch(
+					appkit.BlockOp("barnes.init_node", appkit.DefaultBlockAccesses),
+					mass.StoreOp(int(id), uint64(body)+1),
+					ready.StoreOp(int(id), readyTag),
+					appkit.BlockOp("barnes.link_child", appkit.DefaultBlockAccesses),
+					children.StoreOp(int(parent), id),
+				)
 				return
 			}
 			appkit.BB(t, "barnes.link_child")
@@ -85,8 +89,24 @@ func runBarnes(env *appkit.Env) {
 		appkit.Func(t, "barnes.walk", func() {
 			node := uint64(start) % 4
 			for hop := 0; hop < 3; hop++ {
-				appkit.Block(t, "barnes.force_math", 600)
-				child := children.Load(t, int(node%maxNodes))
+				// In the patched program the child pointer is published
+				// after the node is initialized, so the force math and the
+				// pointer read are straight-line and batch under one
+				// handoff. The unpatched walker keeps every hop on plain
+				// points: its pointer read sits inside the racy
+				// publish/init window, and committing it back-to-back with
+				// the force block would close the interleavings the bug
+				// needs.
+				var child uint64
+				if env.FixBugs {
+					t.PointBatch(
+						appkit.BlockOp("barnes.force_math", 600),
+						children.LoadOp(int(node%maxNodes), func(v uint64) { child = v }),
+					)
+				} else {
+					appkit.Block(t, "barnes.force_math", 600)
+					child = children.Load(t, int(node%maxNodes))
+				}
 				if child == 0 || child >= maxNodes {
 					break
 				}

@@ -56,14 +56,31 @@ func runCherokeed(env *appkit.Env) {
 				defer cacheLock.Unlock(t)
 			}
 			if cachedSec.Load(t) != now {
-				// Regenerate the cached date string — unlocked, cell by
-				// cell (the cherokee-326 window).
-				appkit.BB(t, "cherokee.regen")
-				cachedSec.Store(t, now)
-				// strftime into the shared buffer, cell by cell.
-				for k := 0; k < bufLen; k++ {
-					appkit.Block(t, "cherokee.strftime", 8)
-					timeBuf.Store(t, k, now*10+uint64(k))
+				if env.FixBugs {
+					// Patched: the regeneration runs under the cache
+					// lock, so the whole cell-by-cell strftime is
+					// straight-line and batches under one handoff.
+					ops := []*sched.Op{
+						appkit.BlockOp("cherokee.regen", appkit.DefaultBlockAccesses),
+						cachedSec.StoreOp(now),
+					}
+					for k := 0; k < bufLen; k++ {
+						ops = append(ops,
+							appkit.BlockOp("cherokee.strftime", 8),
+							timeBuf.StoreOp(k, now*10+uint64(k)))
+					}
+					t.PointBatch(ops...)
+				} else {
+					// Regenerate the cached date string — unlocked, cell
+					// by cell (the cherokee-326 window), so every store
+					// stays a plain interleavable point.
+					appkit.BB(t, "cherokee.regen")
+					cachedSec.Store(t, now)
+					// strftime into the shared buffer, cell by cell.
+					for k := 0; k < bufLen; k++ {
+						appkit.Block(t, "cherokee.strftime", 8)
+						timeBuf.Store(t, k, now*10+uint64(k))
+					}
 				}
 			}
 			// Copy the cached string into the response and validate it

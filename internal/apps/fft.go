@@ -45,14 +45,19 @@ func runFFT(env *appkit.Env) {
 		appkit.Func(t, "fft.butterfly", func() {
 			base := wid * rows * 2
 			for r := 0; r < rows; r++ {
-				appkit.Block(t, "fft.twiddle_math", 200)
-				re := data.Load(t, base+2*r)
-				im := data.Load(t, base+2*r+1)
-				// Radix-2 butterfly with a fixed twiddle (3,5 scaled).
-				nre := re*3 - im*5
-				nim := re*5 + im*3
-				data.Store(t, base+2*r, nre)
-				data.Store(t, base+2*r+1, nim)
+				// Each row is straight-line work on the worker's own
+				// tile: declared as one batch so the scheduler commits
+				// it under a single handoff. The tile-tag publish below
+				// — the racy access — stays a plain point.
+				var re, im uint64
+				t.PointBatch(
+					appkit.BlockOp("fft.twiddle_math", 200),
+					data.LoadOp(base+2*r, func(v uint64) { re = v }),
+					data.LoadOp(base+2*r+1, func(v uint64) { im = v }),
+					// Radix-2 butterfly with a fixed twiddle (3,5 scaled).
+					data.StoreOpFn(base+2*r, func() uint64 { return re*3 - im*5 }),
+					data.StoreOpFn(base+2*r+1, func() uint64 { return re*5 + im*3 }),
+				)
 			}
 			// Publish "phase 1 done" for this tile.
 			tileTag.Store(t, wid, phaseTag)
@@ -70,10 +75,15 @@ func runFFT(env *appkit.Env) {
 			pbase := partner * rows * 2
 			mybase := wid * rows * 2
 			for r := 0; r < rows; r++ {
-				appkit.Block(t, "fft.transpose_math", 100)
-				re := data.Load(t, pbase+2*r)
-				my := data.Load(t, mybase+2*r)
-				data.Store(t, mybase+2*r, re+my)
+				// Past the tag check the partner tile is phase-stable,
+				// so each row is straight-line and batches whole.
+				var re, my uint64
+				t.PointBatch(
+					appkit.BlockOp("fft.transpose_math", 100),
+					data.LoadOp(pbase+2*r, func(v uint64) { re = v }),
+					data.LoadOp(mybase+2*r, func(v uint64) { my = v }),
+					data.StoreOpFn(mybase+2*r, func() uint64 { return re + my }),
+				)
 			}
 		})
 	}

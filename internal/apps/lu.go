@@ -55,14 +55,19 @@ func runLU(env *appkit.Env) {
 
 	scanAndCombine := func(t *sched.Thread, wid, step int) {
 		appkit.Func(t, "lu.pivot_scan", func() {
-			// Local max over this worker's share of column `step`.
+			// Local max over this worker's share of column `step`. Each
+			// row's block+load is straight-line and batches under one
+			// handoff; the racy combine below stays on plain points.
 			var local uint64
 			for r := step + wid; r < n; r += nWorkers {
-				appkit.Block(t, "lu.scan_arith", 100)
-				v := matrix.Load(t, r, step)
-				if v > local {
-					local = v
-				}
+				t.PointBatch(
+					appkit.BlockOp("lu.scan_arith", 100),
+					matrix.LoadOp(r, step, func(v uint64) {
+						if v > local {
+							local = v
+						}
+					}),
+				)
 			}
 			// BUG: unlocked check-then-act on the global maximum. The
 			// patched variant holds the pivot lock across the pair.
@@ -91,11 +96,14 @@ func runLU(env *appkit.Env) {
 				// The row update streams through n-step elements of
 				// private arithmetic (three accesses per element); only
 				// the pivot-column cell is re-read by later phases, so
-				// it is the one shared access per row.
-				appkit.Block(t, "lu.row_stream", 3*(n-step))
-				head := matrix.Load(t, r, step)
-				factor := head / p
-				matrix.Store(t, r, step, head+factor*pv0%97)
+				// it is the one shared access per row. The whole row is
+				// straight-line: one declared batch, one handoff.
+				var head uint64
+				t.PointBatch(
+					appkit.BlockOp("lu.row_stream", 3*(n-step)),
+					matrix.LoadOp(r, step, func(v uint64) { head = v }),
+					matrix.StoreOpFn(r, step, func() uint64 { return head + (head/p)*pv0%97 }),
+				)
 			}
 		})
 	}
@@ -125,11 +133,14 @@ func runLU(env *appkit.Env) {
 		appkit.Func(th, "lu.verify_pivot", func() {
 			var want uint64
 			for r := step; r < n; r++ {
-				appkit.BB(th, "lu.verify_row")
-				v := matrix.Load(th, r, step)
-				if v > want {
-					want = v
-				}
+				th.PointBatch(
+					appkit.BlockOp("lu.verify_row", appkit.DefaultBlockAccesses),
+					matrix.LoadOp(r, step, func(v uint64) {
+						if v > want {
+							want = v
+						}
+					}),
+				)
 			}
 			got := gmax.Load(th)
 			th.Check(got == want, "lu-atomicity",

@@ -60,9 +60,13 @@ func runMysqld(env *appkit.Env) {
 		appkit.Func(t, "mysql.execute", func() {
 			// Parse, plan and prepare the statement: straight-line
 			// private work, the bulk of a simple query's instructions.
-			appkit.Block(t, "mysql.parse_plan", 12000)
+			// It is declared as one run with the row-store block so the
+			// scheduler commits both under a single handoff.
+			t.PointBatch(
+				appkit.BlockOp("mysql.parse_plan", 12000),
+				appkit.BlockOp("mysql.store_row", appkit.DefaultBlockAccesses),
+			)
 			// Row-store update: correctly protected by the table lock.
-			appkit.BB(t, "mysql.store_row")
 			tableLock.Lock(t)
 			b := int(key % nBuckets)
 			rows := buckets.Load(t, b)

@@ -44,9 +44,12 @@ func runOpenldapd(env *appkit.Env) {
 	search := func(t *sched.Thread, key uint64) {
 		appkit.Func(t, "ldap.do_search", func() {
 			// Decode the BER-encoded request and evaluate the filter:
-			// private work before any locking.
-			appkit.Block(t, "ldap.ber_decode", 5000)
-			appkit.BB(t, "ldap.search_lock")
+			// private work before any locking, declared as one run so
+			// both blocks commit under a single handoff.
+			t.PointBatch(
+				appkit.BlockOp("ldap.ber_decode", 5000),
+				appkit.BlockOp("ldap.search_lock", appkit.DefaultBlockAccesses),
+			)
 			connLock.Lock(t) // conn first...
 			// Parse the ber-encoded filter while holding the conn.
 			appkit.Block(t, "ldap.ber_parse", 150)
@@ -68,8 +71,10 @@ func runOpenldapd(env *appkit.Env) {
 
 	unbind := func(t *sched.Thread, key uint64) {
 		appkit.Func(t, "ldap.do_unbind", func() {
-			appkit.Block(t, "ldap.conn_teardown_work", 2000)
-			appkit.BB(t, "ldap.unbind_lock")
+			t.PointBatch(
+				appkit.BlockOp("ldap.conn_teardown_work", 2000),
+				appkit.BlockOp("ldap.unbind_lock", appkit.DefaultBlockAccesses),
+			)
 			if env.FixBugs { // patched: same order as search
 				connLock.Lock(t)
 				indexLock.Lock(t)

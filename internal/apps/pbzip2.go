@@ -59,14 +59,20 @@ func runPbzip2(env *appkit.Env) {
 	compress := func(t *sched.Thread, blk int) uint64 {
 		var h uint64 = 14695981039346656037
 		appkit.Func(t, "pbzip2.compress_block", func() {
-			// The BWT+Huffman kernel: heavy private compute per block.
-			appkit.Block(t, "pbzip2.bzip2_kernel", 40000)
+			// The BWT+Huffman kernel plus the block scan. The input
+			// "file" is sealed before the workers start, so compressing
+			// a block is entirely straight-line: the heavy kernel block
+			// and every per-word read batch under one handoff.
+			ops := []*sched.Op{appkit.BlockOp("pbzip2.bzip2_kernel", 40000)}
 			for k := 0; k < blockWords; k++ {
-				appkit.BB(t, "pbzip2.compress_loop")
-				v := input.Load(t, blk*blockWords+k)
-				h = (h ^ v) * 1099511628211
-				h ^= h >> 29
+				ops = append(ops,
+					appkit.BlockOp("pbzip2.compress_loop", appkit.DefaultBlockAccesses),
+					input.LoadOp(blk*blockWords+k, func(v uint64) {
+						h = (h ^ v) * 1099511628211
+						h ^= h >> 29
+					}))
 			}
+			t.PointBatch(ops...)
 		})
 		return h
 	}

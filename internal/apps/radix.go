@@ -54,8 +54,15 @@ func runRadix(env *appkit.Env) {
 	histogram := func(t *sched.Thread, wid int) {
 		appkit.Func(t, "radix.histogram", func() {
 			for k := 0; k < keysPer; k++ {
-				appkit.Block(t, "radix.digit_extract", 150)
-				v := keys.Load(t, wid*keysPer+k)
+				// The digit extraction is straight-line and batches; the
+				// histogram update cannot — its address depends on the
+				// key value just loaded, and batch ops are declared
+				// before any of them commits.
+				var v uint64
+				t.PointBatch(
+					appkit.BlockOp("radix.digit_extract", 150),
+					keys.LoadOp(wid*keysPer+k, func(u uint64) { v = u }),
+				)
 				d := int(v) & (buckets - 1)
 				c := hist.Load(t, wid*buckets+d)
 				hist.Store(t, wid*buckets+d, c+1)
@@ -78,10 +85,14 @@ func runRadix(env *appkit.Env) {
 			sems[hi].Acquire(t) // ...then blocks on the neighbor's.
 
 			// Combine the neighbor's histogram into this worker's rank.
+			// Both semaphores are held here, so the neighbor histogram
+			// is stable: each bucket's block+load batches whole.
 			var sum uint64
 			for d := 0; d < buckets; d++ {
-				appkit.Block(t, "radix.prefix_arith", 100)
-				sum += hist.Load(t, right*buckets+d)
+				t.PointBatch(
+					appkit.BlockOp("radix.prefix_arith", 100),
+					hist.LoadOp(right*buckets+d, func(v uint64) { sum += v }),
+				)
 			}
 			ranks.Store(t, wid, sum)
 

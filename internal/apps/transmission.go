@@ -56,8 +56,21 @@ func runTransmission(env *appkit.Env) {
 				appkit.Func(t, "tr.peer_transfer", func() {
 					if handleReady.Load(t) == 1 {
 						// Dereference the bandwidth object.
-						appkit.BB(t, "tr.bandwidth_use")
-						magic := bwMagic.Load(t)
+						var magic uint64
+						if env.FixBugs {
+							// Patched init publishes the handle last, so
+							// the magic read is stable once the handle is
+							// visible and batches with the use block. The
+							// buggy path keeps it a plain point: the read
+							// sits inside the racy init window.
+							t.PointBatch(
+								appkit.BlockOp("tr.bandwidth_use", appkit.DefaultBlockAccesses),
+								bwMagic.LoadOp(func(v uint64) { magic = v }),
+							)
+						} else {
+							appkit.BB(t, "tr.bandwidth_use")
+							magic = bwMagic.Load(t)
+						}
 						t.Check(magic == bandwidthMagic, "transmission-1818",
 							"bandwidth used before init (magic=%#x)", magic)
 						limit := bwLimit.Load(t)

@@ -87,6 +87,16 @@ func (fs flipSet) with(f flip) (flipSet, bool) {
 // recorded sketch order, holds threads per the flip set, explores the
 // remaining freedom with a deterministic (or seeded-random, for the
 // no-feedback ablation) policy, and detects divergence from the sketch.
+//
+// The director deliberately implements no sched.RunGranter: a directed
+// attempt runs on budget-1 grants so every scheduling point — in
+// particular every point near a flip's hold window — is a fresh pick
+// where a hold can engage or release. Granting a multi-point run to a
+// thread that reaches a flip point mid-run would commit past the very
+// interleaving the flip exists to force. Declared batches still arrive
+// as candidates with Run > 1; the director simply never consumes the
+// declaration, so batch points stay individually interleavable under
+// replay.
 type director struct {
 	scheme  sketch.Scheme
 	entries []trace.SketchEntry
@@ -136,6 +146,19 @@ func newDirector(scheme sketch.Scheme, entries []trace.SketchEntry, fs flipSet, 
 
 // Pick implements sched.Strategy.
 func (d *director) Pick(view *sched.PickView) (trace.TID, bool) {
+	// Sticky fast path: once the sketch is fully consumed and no flip
+	// is still pending, every candidate is grantable and unheld, so the
+	// deterministic sticky policy reduces to "keep the last thread
+	// running if it can" — answered by binary search over the
+	// TID-sorted view without re-partitioning the candidates. The tail
+	// of a directed attempt (usually the bulk of its points) pays one
+	// PickView.Find instead of two candidate scans.
+	if d.rng == nil && d.k >= len(d.entries) && !d.anyFlipPending() {
+		if c, ok := view.Find(d.last); ok {
+			d.last = c.TID
+			return c.TID, true
+		}
+	}
 	grantable, expected, ok := d.collect(view)
 	if !ok {
 		return trace.NoTID, false
@@ -216,6 +239,16 @@ func (d *director) Pick(view *sched.PickView) (trace.TID, bool) {
 		}
 	}
 	return choice.TID, true
+}
+
+// anyFlipPending reports whether a flip could still hold a candidate.
+func (d *director) anyFlipPending() bool {
+	for i := range d.flips {
+		if !d.flipDone[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // collect partitions the runnable candidates under the current sketch

@@ -51,6 +51,13 @@ type attemptOutcome struct {
 	// cached marks an outcome served by the schedule cache instead of
 	// an execution.
 	cached bool
+	// steps, handoffs and fastSteps are the execution's scheduler
+	// counters (sched.Result): committed points, strategy handoffs and
+	// fast-path grants. Zero for cached outcomes — the cache stores
+	// verdicts, not executions.
+	steps     uint64
+	handoffs  uint64
+	fastSteps uint64
 }
 
 // cancelNone is the sentinel for "no reproduction known yet" in the
@@ -61,6 +68,12 @@ const cancelNone = int64(^uint64(0) >> 1)
 // search-wide first-success index: once some earlier-canonical attempt
 // has reproduced, later in-flight attempts abort at their next
 // scheduling point instead of running to completion.
+//
+// The wrapper deliberately does not forward sched.RunGranter: even if
+// an inner strategy declared run budgets, a wrapped attempt must fall
+// back to budget-1 grants so the cancellation poll runs between every
+// two points. The director never grants budgets anyway (see its doc),
+// so nothing is lost.
 type cancellableStrategy struct {
 	inner  sched.Strategy
 	idx    int64
@@ -119,7 +132,11 @@ func runAttempt(ctx context.Context, prog *appkit.Program, rec *Recording, fs fl
 		Ctx:       ctx,
 	}, world)
 
-	out := attemptOutcome{races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k, note: dir.divergeNote, rawFailure: res.Failure}
+	out := attemptOutcome{
+		races: det.Pairs(), horizon: dir.exhaustStep, consumed: dir.k,
+		note: dir.divergeNote, rawFailure: res.Failure,
+		steps: res.Steps, handoffs: res.Handoffs, fastSteps: res.FastPathSteps,
+	}
 	if out.horizon == 0 {
 		out.horizon = res.Steps
 	}
@@ -341,6 +358,9 @@ func (s *searchState) Commit(idx int, job any) bool {
 			r.Stats.CacheMisses++
 		}
 	}
+	r.Stats.Steps += j.out.steps
+	r.Stats.Handoffs += j.out.handoffs
+	r.Stats.FastPathSteps += j.out.fastSteps
 	s.opts.reportAttempt(r.Attempts, j.directed, j.nd.fs, j.out)
 	if j.out.bug {
 		r.Reproduced = true

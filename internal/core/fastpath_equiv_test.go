@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sketch"
+)
+
+// TestPropCoreFastPathEquivalence: the scheduler's run-grant fast path
+// is invisible to everything PRES computes. For a corpus subset, a
+// production recording made with the fast path enabled is byte-for-byte
+// identical (sketch log and input log) to one made in single-step
+// reference mode, and a full replay search over the recording follows
+// the identical trajectory — same attempts, same flips, same captured
+// order, same stats — in both modes. Only the fast-path step counter
+// may differ: positive with run grants, zero in reference mode.
+func TestPropCoreFastPathEquivalence(t *testing.T) {
+	cases := []struct {
+		app    string
+		scheme sketch.Scheme
+	}{
+		{"fft", sketch.SYNC},
+		{"lu", sketch.SYNC},
+		{"radix", sketch.SYNC},
+		{"mysqld", sketch.SYNC},
+		{"aget", sketch.RW},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			prog, ok := apps.Get(tc.app)
+			if !ok {
+				t.Fatalf("unknown corpus app %q", tc.app)
+			}
+			// Prefer a seed whose production run manifests a bug so the
+			// replay comparison exercises the directed search, feedback
+			// and order capture; fall back to a clean recording (the
+			// search trajectory must match either way).
+			opt := Options{Scheme: tc.scheme, Processors: 4, WorldSeed: 11, MaxSteps: 400_000}
+			for seed := int64(0); seed < 300; seed++ {
+				opt.ScheduleSeed = seed
+				if Record(prog, opt).BugFailure() != nil {
+					break
+				}
+			}
+
+			fastOpt, slowOpt := opt, opt
+			slowOpt.SingleStep = true
+			fast := Record(prog, fastOpt)
+			slow := Record(prog, slowOpt)
+
+			var fb, sb bytes.Buffer
+			if err := fast.Write(&fb); err != nil {
+				t.Fatal(err)
+			}
+			if err := slow.Write(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+				t.Fatalf("recorded logs differ between fast-path and single-step modes (%d vs %d bytes)", fb.Len(), sb.Len())
+			}
+			fr, sr := fast.Result, slow.Result
+			if fr.Steps != sr.Steps || fr.BaseCost != sr.BaseCost || fr.Threads != sr.Threads {
+				t.Fatalf("run shape differs: steps %d/%d cost %d/%d threads %d/%d",
+					fr.Steps, sr.Steps, fr.BaseCost, sr.BaseCost, fr.Threads, sr.Threads)
+			}
+			if fr.Handoffs != sr.Handoffs {
+				t.Fatalf("handoffs differ: fast %d, single-step %d", fr.Handoffs, sr.Handoffs)
+			}
+			if !reflect.DeepEqual(fr.EventsByKind, sr.EventsByKind) {
+				t.Fatalf("event kind histograms differ: %v vs %v", fr.EventsByKind, sr.EventsByKind)
+			}
+			if (fr.Failure == nil) != (sr.Failure == nil) {
+				t.Fatalf("failure presence differs: %v vs %v", fr.Failure, sr.Failure)
+			}
+			if fr.Failure != nil && (fr.Failure.Reason != sr.Failure.Reason || fr.Failure.BugID != sr.Failure.BugID || fr.Failure.Step != sr.Failure.Step) {
+				t.Fatalf("failures differ: %v vs %v", fr.Failure, sr.Failure)
+			}
+			if sr.FastPathSteps != 0 {
+				t.Fatalf("single-step recording claims %d fast-path steps", sr.FastPathSteps)
+			}
+			if fr.FastPathSteps == 0 {
+				t.Fatalf("%s: fast-path recording committed no fast-path steps; batching/budgets not engaged", tc.app)
+			}
+
+			// The searches replay rec.Options, so rf runs every attempt
+			// with the fast path and rs in single-step mode. Directed
+			// attempts run on budget-1 grants (the director declares no
+			// run budgets), so even the fast-path search reports zero
+			// fast-path steps and the stats must match field for field.
+			ropts := ReplayOptions{Feedback: true, MaxAttempts: 60}
+			rf := Replay(prog, fast, ropts)
+			rs := Replay(prog, slow, ropts)
+			if rf.Reproduced != rs.Reproduced || rf.Attempts != rs.Attempts || rf.Flips != rs.Flips {
+				t.Fatalf("search trajectories differ: %v/%d/%d vs %v/%d/%d",
+					rf.Reproduced, rf.Attempts, rf.Flips, rs.Reproduced, rs.Attempts, rs.Flips)
+			}
+			if !reflect.DeepEqual(rf.Stats, rs.Stats) {
+				t.Fatalf("search stats differ:\nfast: %+v\nslow: %+v", rf.Stats, rs.Stats)
+			}
+			if !reflect.DeepEqual(rf.Order, rs.Order) {
+				t.Fatal("captured orders differ between modes")
+			}
+			if !reflect.DeepEqual(rf.RootCauses, rs.RootCauses) {
+				t.Fatalf("root causes differ: %v vs %v", rf.RootCauses, rs.RootCauses)
+			}
+			// Budget-1 grants mean no fast-path steps, but handoffs are
+			// per declared batch (the thread blocks once for the whole
+			// run), so the search still amortizes handoffs below steps.
+			if rf.Stats.FastPathSteps != 0 {
+				t.Fatalf("directed attempts committed %d fast-path steps; the director must stay budget-1", rf.Stats.FastPathSteps)
+			}
+			if rf.Stats.Handoffs > rf.Stats.Steps {
+				t.Fatalf("more handoffs (%d) than steps (%d)", rf.Stats.Handoffs, rf.Stats.Steps)
+			}
+			if rf.Reproduced {
+				// The captured order must reproduce in both modes.
+				of := Reproduce(prog, fast, rf.Order)
+				os := Reproduce(prog, slow, rs.Order)
+				if of.Failure == nil || os.Failure == nil || of.Failure.BugID != os.Failure.BugID {
+					t.Fatalf("order reproduction differs: %v vs %v", of.Failure, os.Failure)
+				}
+				// Order replay, unlike the directed search, does consume
+				// run declarations (OrderStrategy grants consecutive
+				// same-thread runs), so the fast mode must amortize.
+				if of.Handoffs >= of.Steps {
+					t.Fatalf("order replay did not amortize handoffs: %d over %d steps", of.Handoffs, of.Steps)
+				}
+				if of.Steps != os.Steps || of.Handoffs != os.Handoffs {
+					t.Fatalf("order replay shape differs: steps %d/%d handoffs %d/%d", of.Steps, os.Steps, of.Handoffs, os.Handoffs)
+				}
+			}
+			t.Logf("%s: steps=%d handoffs=%d fastpath=%d attempts=%d reproduced=%v",
+				tc.app, fr.Steps, fr.Handoffs, fr.FastPathSteps, rf.Attempts, rf.Reproduced)
+		})
+	}
+}

@@ -37,6 +37,18 @@ type Options struct {
 	MaxSteps uint64
 	// FixBugs runs the programs' patched code paths (see appkit.Env).
 	FixBugs bool
+	// SingleStep disables the scheduler's run-grant fast path: every
+	// scheduling point is a separate strategy pick and handoff, with no
+	// state reuse (sched.Config.SingleStep). The reference mode the
+	// fast-path equivalence properties compare against; production use
+	// leaves it false.
+	SingleStep bool
+	// NoBatch makes declared point batches (sched.Thread.PointBatch)
+	// decompose into sequential single points (sched.Config.NoBatch):
+	// the measurement baseline for handoff amortization. Batches feed
+	// run-aware strategies, so unlike SingleStep this changes recorded
+	// schedules.
+	NoBatch bool
 	// Metrics, when non-nil, receives recording metrics (sketch entries
 	// written, log bytes, modelled overhead — see OBSERVABILITY.md) and
 	// the substrate's scheduler counters. Nil, the default, keeps the
@@ -165,8 +177,13 @@ func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
 	return &Recording{Scheme: scheme, Sketch: sk, Inputs: in, Options: opts}, nil
 }
 
-// execute runs prog once with a fresh world in the given vsys mode.
+// execute runs prog once with a fresh world in the given vsys mode. It
+// is the single point where the scheduler-mode knobs (SingleStep,
+// NoBatch) reach the substrate, so recording, replay attempts and
+// order reproduction all honor them uniformly.
 func execute(prog *appkit.Program, opts Options, cfg sched.Config, world *vsys.World) *sched.Result {
+	cfg.SingleStep = opts.SingleStep
+	cfg.NoBatch = opts.NoBatch
 	return sched.Run(func(t *sched.Thread) {
 		prog.Run(&appkit.Env{T: t, W: world, Scale: opts.Scale, Procs: opts.processors(), FixBugs: opts.FixBugs})
 	}, cfg)

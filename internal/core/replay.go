@@ -198,6 +198,14 @@ type ReplayStats struct {
 	CacheHits     int // attempts answered by the schedule cache
 	CacheMisses   int // attempts executed with the cache enabled
 	FrontierDried bool
+	// Steps, Handoffs and FastPathSteps total the executed attempts'
+	// scheduler counters (sched.Result): committed points, strategy
+	// handoffs, and grants committed on the run-grant fast path.
+	// Handoffs/Steps is the search's handoff amortization; cached
+	// attempts execute nothing and contribute nothing.
+	Steps         uint64
+	Handoffs      uint64
+	FastPathSteps uint64
 }
 
 // ReplayResult is the outcome of the replay search.

@@ -488,7 +488,14 @@ type E11Row struct {
 	// CacheSaved counts the warm search's executions answered from the
 	// cache.
 	CacheSaved int
-	Err        error
+	// Steps, Handoffs, and FastSteps aggregate the cold search's
+	// executed scheduler work (core.ReplayStats): Handoffs/Steps is the
+	// search's grant amortization, FastSteps the steps committed
+	// without a fresh pick.
+	Steps     uint64
+	Handoffs  uint64
+	FastSteps uint64
+	Err       error
 }
 
 // E11Bugs is the default subset for the scaling sweep: the two bugs
@@ -554,6 +561,9 @@ func RunE11(bugs []string, workers []int, cfg Config) []E11Row {
 			}
 			row.Attempts = res.Attempts
 			row.Reproduced = res.Reproduced
+			row.Steps = res.Stats.Steps
+			row.Handoffs = res.Stats.Handoffs
+			row.FastSteps = res.Stats.FastPathSteps
 			warmOpts := ropts
 			warmOpts.Cache = core.NewSearchCache(0)
 			c.replay(prog, rec, warmOpts) // fill

@@ -268,7 +268,7 @@ func PrintE10(w io.Writer, rows []E10Row, cfg Config) {
 func PrintE11(w io.Writer, rows []E11Row, cfg Config) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
-	fmt.Fprintln(tw, "bug\tworkers\tattempts\tcold ms\tspeedup\twarm ms\tcache saved")
+	fmt.Fprintln(tw, "bug\tworkers\tattempts\tcold ms\tspeedup\twarm ms\tcache saved\thandoffs/step\tfast steps")
 	base := map[string]float64{}
 	for _, r := range rows {
 		if r.Err == nil && r.Workers == 1 {
@@ -277,7 +277,7 @@ func PrintE11(w io.Writer, rows []E11Row, cfg Config) {
 	}
 	for _, r := range rows {
 		if r.Err != nil {
-			fmt.Fprintf(tw, "%s\t%d\tn/a\t-\t-\t-\t-\n", r.Bug, r.Workers)
+			fmt.Fprintf(tw, "%s\t%d\tn/a\t-\t-\t-\t-\t-\t-\n", r.Bug, r.Workers)
 			continue
 		}
 		att := fmt.Sprintf("%d", r.Attempts)
@@ -288,8 +288,12 @@ func PrintE11(w io.Writer, rows []E11Row, cfg Config) {
 		if b, ok := base[r.Bug]; ok && r.WallMS > 0 {
 			speedup = fmt.Sprintf("%.2fx", b/r.WallMS)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%s\t%.2f\t%d\n",
-			r.Bug, r.Workers, att, r.WallMS, speedup, r.WarmWallMS, r.CacheSaved)
+		hps := "-"
+		if r.Steps > 0 {
+			hps = fmt.Sprintf("%.3f", float64(r.Handoffs)/float64(r.Steps))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f\t%s\t%.2f\t%d\t%s\t%d\n",
+			r.Bug, r.Workers, att, r.WallMS, speedup, r.WarmWallMS, r.CacheSaved, hps, r.FastSteps)
 	}
 }
 

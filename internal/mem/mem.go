@@ -108,6 +108,52 @@ func (c *Cell) CAS(t *sched.Thread, old, new uint64) bool {
 	return ok
 }
 
+// LoadOp returns the scheduling-point op Load performs, for declaring
+// straight-line runs with Thread.PointBatch; f, when non-nil, receives
+// the loaded value at commit time.
+func (c *Cell) LoadOp(f func(uint64)) *sched.Op {
+	return &sched.Op{
+		Kind: trace.KindLoad,
+		Obj:  c.addr,
+		Desc: "load " + c.name,
+		Effect: func(ctx *sched.EffectCtx) {
+			v := c.val
+			ctx.Ev.Arg = v
+			if f != nil {
+				f(v)
+			}
+		},
+	}
+}
+
+// StoreOp returns the scheduling-point op Store performs, for declaring
+// straight-line runs with Thread.PointBatch.
+func (c *Cell) StoreOp(v uint64) *sched.Op {
+	return &sched.Op{
+		Kind:   trace.KindStore,
+		Obj:    c.addr,
+		Arg:    v,
+		Desc:   "store " + c.name,
+		Effect: func(*sched.EffectCtx) { c.val = v },
+	}
+}
+
+// StoreOpFn is StoreOp with the value computed at commit time (e.g.,
+// from values earlier ops of the same batch loaded); the committed
+// event's Arg carries the computed value.
+func (c *Cell) StoreOpFn(f func() uint64) *sched.Op {
+	return &sched.Op{
+		Kind: trace.KindStore,
+		Obj:  c.addr,
+		Desc: "store " + c.name,
+		Effect: func(ctx *sched.EffectCtx) {
+			v := f()
+			c.val = v
+			ctx.Ev.Arg = v
+		},
+	}
+}
+
 // Peek reads the cell without a scheduling point (oracle/setup only).
 func (c *Cell) Peek() uint64 { return c.val }
 
@@ -180,6 +226,52 @@ func (a *Array) Add(t *sched.Thread, i int, delta uint64) uint64 {
 	return v
 }
 
+// LoadOp returns the scheduling-point op Load performs on element i,
+// for declaring straight-line runs with Thread.PointBatch; f, when
+// non-nil, receives the loaded value at commit time.
+func (a *Array) LoadOp(i int, f func(uint64)) *sched.Op {
+	return &sched.Op{
+		Kind: trace.KindLoad,
+		Obj:  a.ElemAddr(i),
+		Desc: "load " + a.name,
+		Effect: func(ctx *sched.EffectCtx) {
+			v := a.vals[i]
+			ctx.Ev.Arg = v
+			if f != nil {
+				f(v)
+			}
+		},
+	}
+}
+
+// StoreOp returns the scheduling-point op Store performs on element i,
+// for declaring straight-line runs with Thread.PointBatch.
+func (a *Array) StoreOp(i int, v uint64) *sched.Op {
+	return &sched.Op{
+		Kind:   trace.KindStore,
+		Obj:    a.ElemAddr(i),
+		Arg:    v,
+		Desc:   "store " + a.name,
+		Effect: func(*sched.EffectCtx) { a.vals[i] = v },
+	}
+}
+
+// StoreOpFn is StoreOp with the value computed at commit time (e.g.,
+// from values earlier ops of the same batch loaded); the committed
+// event's Arg carries the computed value.
+func (a *Array) StoreOpFn(i int, f func() uint64) *sched.Op {
+	return &sched.Op{
+		Kind: trace.KindStore,
+		Obj:  a.ElemAddr(i),
+		Desc: "store " + a.name,
+		Effect: func(ctx *sched.EffectCtx) {
+			v := f()
+			a.vals[i] = v
+			ctx.Ev.Arg = v
+		},
+	}
+}
+
 // Peek reads element i without a scheduling point (oracle/setup only).
 func (a *Array) Peek(i int) uint64 { return a.vals[i] }
 
@@ -214,6 +306,23 @@ func (m *Matrix) Load(t *sched.Thread, r, c int) uint64 {
 // Store writes element (r,c) at a scheduling point.
 func (m *Matrix) Store(t *sched.Thread, r, c int, v uint64) {
 	m.arr.Store(t, r*m.cols+c, v)
+}
+
+// LoadOp returns the scheduling-point op Load performs on (r,c), for
+// declaring straight-line runs with Thread.PointBatch.
+func (m *Matrix) LoadOp(r, c int, f func(uint64)) *sched.Op {
+	return m.arr.LoadOp(r*m.cols+c, f)
+}
+
+// StoreOp returns the scheduling-point op Store performs on (r,c), for
+// declaring straight-line runs with Thread.PointBatch.
+func (m *Matrix) StoreOp(r, c int, v uint64) *sched.Op {
+	return m.arr.StoreOp(r*m.cols+c, v)
+}
+
+// StoreOpFn is StoreOp with the value computed at commit time.
+func (m *Matrix) StoreOpFn(r, c int, f func() uint64) *sched.Op {
+	return m.arr.StoreOpFn(r*m.cols+c, f)
 }
 
 // Peek reads element (r,c) without a scheduling point (oracle/setup

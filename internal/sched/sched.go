@@ -16,12 +16,26 @@
 // the scheduler goroutine) or between two scheduling points of the
 // running thread, the host program is free of data races without any
 // host-level locking.
+//
+// # Run grants
+//
+// Executions are dominated by long same-thread runs, so the scheduler
+// amortizes its bookkeeping over them (see INTERNALS.md, "The grant
+// protocol"). A strategy that also implements RunGranter may grant the
+// picked thread a run of up to N steps under a single Pick; threads can
+// pre-declare straight-line batches of ops (Thread.PointBatch) that
+// commit under one channel handoff instead of one round-trip per op; and
+// when exactly one thread is runnable the loop re-grants it without
+// rebuilding the candidate view. Config.SingleStep disables all of it
+// and restores the one-Pick-one-step reference behavior; the two modes
+// commit byte-identical traces (asserted by TestPropFastPathEquivalence).
 package sched
 
 import (
 	"context"
 	"fmt"
 	"slices"
+	"sort"
 	"strings"
 
 	"repro/internal/obs"
@@ -31,8 +45,26 @@ import (
 // Observer watches the committed event stream. OnEvent returns the extra
 // logical cost the observation imposes on the production run (e.g., the
 // cost of appending to a sketch log); pure observers return 0.
+//
+// The scheduler reuses one internal event value across steps and passes
+// it by value, so observers never see per-step garbage; an observer that
+// retains events must copy them (they are plain values, so assignment
+// copies).
 type Observer interface {
 	OnEvent(ev trace.Event) (extraCost uint64)
+}
+
+// RunObserver is an optional Observer extension for run batching: when
+// the scheduler grants a multi-step run, it announces the granted
+// length once, before the run's first commit, so an observer that
+// appends per event (a sketch recorder, an order capture) can reserve
+// capacity for the whole run instead of growing inside the commit
+// loop. The length is an upper bound — a run may end early — and
+// budget-1 grants announce nothing, so implementing this interface
+// must not change what the observer records, only how it allocates.
+type RunObserver interface {
+	Observer
+	OnRunStart(n int)
 }
 
 // Candidate describes one enabled parked thread offered to a Strategy.
@@ -45,31 +77,37 @@ type Candidate struct {
 	// strategies use it to model how long the thread will occupy its
 	// processor.
 	Cost uint64
+	// Run is the length of the thread's declared straight-line batch
+	// counting the pending op (1 for a plain op). RunGranter strategies
+	// size their run budgets from it.
+	Run int
 }
 
 // PickView is the scheduler state a Strategy sees when choosing the next
 // thread. Candidates are sorted by TID and all enabled.
+//
+// The scheduler reuses the view and its candidate buffer across steps;
+// strategies must not retain either past the Pick call.
 type PickView struct {
 	Step       uint64
 	Candidates []Candidate
 }
 
-// Has reports whether tid is among the candidates.
+// Has reports whether tid is among the candidates. Candidates are
+// TID-sorted, so this is a binary search.
 func (v *PickView) Has(tid trace.TID) bool {
-	for _, c := range v.Candidates {
-		if c.TID == tid {
-			return true
-		}
-	}
-	return false
+	_, ok := v.Find(tid)
+	return ok
 }
 
-// Find returns the candidate for tid, if present.
+// Find returns the candidate for tid, if present, by binary search over
+// the TID-sorted candidate list.
 func (v *PickView) Find(tid trace.TID) (Candidate, bool) {
-	for _, c := range v.Candidates {
-		if c.TID == tid {
-			return c, true
-		}
+	i := sort.Search(len(v.Candidates), func(i int) bool {
+		return v.Candidates[i].TID >= tid
+	})
+	if i < len(v.Candidates) && v.Candidates[i].TID == tid {
+		return v.Candidates[i], true
 	}
 	return Candidate{}, false
 }
@@ -81,25 +119,63 @@ type Strategy interface {
 	Pick(view *PickView) (tid trace.TID, ok bool)
 }
 
+// RunGranter is the optional fast-path seam a Strategy may implement to
+// grant the picked thread a run of several steps under one Pick.
+//
+// Right after Pick returns tid, the scheduler calls RunBudget(view, tid);
+// a budget of N >= 2 lets the thread commit up to N consecutive steps
+// before the next Pick. Before each extra step (the 2nd..Nth) is
+// committed, ObserveStep(tid, cost) reports the op about to run so the
+// strategy can keep its accounting (virtual time, replay cursor) exactly
+// as if it had Picked the step itself; ObserveStep cannot veto — the run
+// ends early only for scheduler-level reasons (the op is disabled, the
+// thread slept or exited, the step limit was hit).
+//
+// Strategies that do not implement RunGranter get budget 1 everywhere —
+// the exact single-step behavior. Replay-directed strategies deliberately
+// stay at budget 1 near flip points so search precision is untouched
+// (the budget-1 invariant; see INTERNALS.md).
+type RunGranter interface {
+	RunBudget(view *PickView, tid trace.TID) int
+	ObserveStep(tid trace.TID, cost uint64)
+}
+
 // Config parameterizes one execution.
 type Config struct {
 	Strategy  Strategy   // required
 	Observers []Observer // called in order for every committed event
 	// Ctx, when non-nil, bounds the execution: the scheduler polls it
-	// (non-blocking) at every grant point and fails the run with
+	// (non-blocking) at every pick point and fails the run with
 	// ReasonCancelled once it is done, then unwinds every thread — the
 	// cooperative-cancellation seam Record/Replay thread the public
-	// context through. Nil (the default) keeps the loop select-free.
+	// context through. Cancellation lands between runs, never inside a
+	// run batch or mid-effect. Nil (the default) keeps the loop
+	// select-free.
 	Ctx context.Context
 	// MaxSteps bounds the execution; exceeding it fails the run with
 	// ReasonStepLimit. 0 means DefaultMaxSteps.
 	MaxSteps uint64
 	// Metrics, when non-nil, receives the substrate's counters:
-	// sched_steps_total, sched_picks_total and sched_threads_total
-	// (see OBSERVABILITY.md). The instruments are resolved once at Run,
-	// so the per-event cost is one atomic add; nil (the default) keeps
-	// the hot path free of any measurement cost.
+	// sched_steps_total, sched_picks_total, sched_threads_total, plus
+	// the fast-path instruments pres_sched_handoffs_total,
+	// pres_sched_fastpath_steps_total and the pres_sched_run_length
+	// histogram (see OBSERVABILITY.md). The instruments are resolved
+	// once at Run, so the per-event cost is one atomic add; nil (the
+	// default) keeps the hot path free of any measurement cost.
 	Metrics *obs.Registry
+	// SingleStep disables the fast path: one Pick per committed step,
+	// no run budgets, no tight single-candidate loop, and the legacy
+	// allocate-per-step view/event/effect-context structure. It is the
+	// reference mode the equivalence property tests compare against and
+	// the "before" side of the allocs/step benchmarks. Batches declared
+	// with PointBatch still commit under one handoff (that part of the
+	// protocol is thread-side and mode-independent).
+	SingleStep bool
+	// NoBatch makes Thread.PointBatch decompose into sequential Point
+	// calls, one announce/grant round-trip per op — the measurement
+	// baseline for handoffs/step and steps/sec. Traces under NoBatch
+	// are only comparable for strategies that ignore Candidate.Run.
+	NoBatch bool
 }
 
 // DefaultMaxSteps bounds runs whose Config leaves MaxSteps zero.
@@ -113,6 +189,15 @@ type Result struct {
 	ExtraCost    uint64   // logical cost added by observers (recording)
 	Threads      int      // threads created over the lifetime
 	EventsByKind [trace.NumKinds]uint64
+	// Handoffs counts scheduler->thread channel grants. Batched ops
+	// commit without one, so Handoffs <= Steps; the gap is the
+	// amortization PointBatch buys. Identical between fast-path and
+	// single-step modes.
+	Handoffs uint64
+	// FastPathSteps counts steps committed without a fresh Pick (the
+	// 2nd..Nth steps of run grants and batch advances). Always 0 in
+	// single-step mode.
+	FastPathSteps uint64
 }
 
 // Overhead returns ExtraCost/BaseCost — the modelled production-run
@@ -136,17 +221,21 @@ const (
 type announcement struct {
 	t      *Thread
 	op     *Op
+	run    []*Op // declared batch (PointBatch); op == run[0] when set
 	exited bool
 	fail   *Failure
 }
+
+// runLenBounds buckets the pres_sched_run_length histogram: how many
+// steps each grant committed before control returned to the strategy.
+var runLenBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Scheduler coordinates one execution. Create with Run.
 type Scheduler struct {
 	cfg      Config
 	announce chan announcement
 	stopC    chan struct{}
-	threads  map[trace.TID]*Thread
-	order    []trace.TID // creation order, for deterministic candidate listing
+	threads  []*Thread // dense by TID; creation order == TID order
 	nextTID  trace.TID
 	inflight int // threads that will announce before the next pick
 	live     int
@@ -155,12 +244,36 @@ type Scheduler struct {
 	res      Result
 	sleepReq bool            // set by EffectCtx.Sleep during the current grant
 	ctxDone  <-chan struct{} // Config.Ctx's done channel, nil when unset
+	granter  RunGranter      // Strategy's optional run seam; nil in single-step mode
+	runObs   []RunObserver   // observers that pre-reserve per granted run
+
+	// Reused per-step machinery (fast path). The view, candidate
+	// buffer, committed event and effect context live for the whole
+	// execution; the loop refills them in place so the steady state
+	// allocates nothing.
+	view  PickView
+	cands []Candidate
+	ev    trace.Event
+	ectx  EffectCtx
+
+	// Tight single-candidate loop state: when the previous view had
+	// exactly one candidate and nothing that could change any thread's
+	// candidacy happened since (no effects and no exits — or no other
+	// live thread at all), the next round reuses the view with the solo
+	// candidate refreshed in place instead of rescanning the table.
+	solo       *Thread
+	soloPrev   bool // previous pick round offered exactly one candidate
+	effectsRan bool // any Effect ran since the last pick round
+	exitSeen   bool // any thread exited since the last pick round
 
 	// Pre-resolved metric instruments (nil when Config.Metrics is nil;
 	// their methods are then single-nil-check no-ops).
-	mSteps   *obs.Counter
-	mPicks   *obs.Counter
-	mThreads *obs.Counter
+	mSteps     *obs.Counter
+	mPicks     *obs.Counter
+	mThreads   *obs.Counter
+	mHandoffs  *obs.Counter
+	mFastSteps *obs.Counter
+	mRunLen    *obs.Histogram
 }
 
 // Run executes root as thread 0 under cfg and returns the result. It
@@ -177,12 +290,24 @@ func Run(root func(*Thread), cfg Config) *Result {
 		cfg:      cfg,
 		announce: make(chan announcement),
 		stopC:    make(chan struct{}),
-		threads:  make(map[trace.TID]*Thread),
 	}
+	if !cfg.SingleStep {
+		s.granter, _ = cfg.Strategy.(RunGranter)
+		for _, o := range cfg.Observers {
+			if ro, ok := o.(RunObserver); ok {
+				s.runObs = append(s.runObs, ro)
+			}
+		}
+	}
+	s.ectx.s = s
+	s.ectx.Ev = &s.ev
 	if cfg.Metrics != nil {
 		s.mSteps = cfg.Metrics.Counter("sched_steps_total")
 		s.mPicks = cfg.Metrics.Counter("sched_picks_total")
 		s.mThreads = cfg.Metrics.Counter("sched_threads_total")
+		s.mHandoffs = cfg.Metrics.Counter("pres_sched_handoffs_total")
+		s.mFastSteps = cfg.Metrics.Counter("pres_sched_fastpath_steps_total")
+		s.mRunLen = cfg.Metrics.Histogram("pres_sched_run_length", runLenBounds)
 	}
 	if cfg.Ctx != nil {
 		s.ctxDone = cfg.Ctx.Done()
@@ -205,9 +330,9 @@ func (s *Scheduler) addThread(name string, parent trace.TID) *Thread {
 		grant:  make(chan struct{}),
 		state:  stateRunning,
 	}
+	t.yieldOp.Kind = trace.KindYield
 	s.nextTID++
-	s.threads[t.id] = t
-	s.order = append(s.order, t.id)
+	s.threads = append(s.threads, t)
 	s.live++
 	s.res.Threads++
 	s.mThreads.Inc()
@@ -246,6 +371,15 @@ func (s *Scheduler) runThread(t *Thread, fn func(*Thread)) {
 	s.announce <- announcement{t: t, exited: true, fail: fail}
 }
 
+// park records a non-exit announcement: the thread is at a point with a
+// pending op (and possibly a declared batch behind it).
+func (s *Scheduler) park(a announcement) {
+	a.t.pending = a.op
+	a.t.batch = a.run
+	a.t.batchPos = 1
+	a.t.state = stateParked
+}
+
 func (s *Scheduler) loop() {
 	for {
 		// Wait until no thread is executing user code.
@@ -255,8 +389,7 @@ func (s *Scheduler) loop() {
 			if a.exited {
 				s.handleExit(a)
 			} else {
-				a.t.pending = a.op
-				a.t.state = stateParked
+				s.park(a)
 			}
 		}
 		if s.failure != nil || s.live == 0 {
@@ -264,9 +397,9 @@ func (s *Scheduler) loop() {
 			return
 		}
 		if s.ctxDone != nil {
-			// Non-blocking poll: cancellation lands at the next grant
-			// point, never mid-effect, so the unwind sees a consistent
-			// simulation state.
+			// Non-blocking poll: cancellation lands at the next pick
+			// point, never mid-effect or mid-run, so the unwind sees a
+			// consistent simulation state.
 			select {
 			case <-s.ctxDone:
 				s.failure = &Failure{Reason: ReasonCancelled, Step: s.step,
@@ -282,7 +415,19 @@ func (s *Scheduler) loop() {
 			s.shutdown()
 			return
 		}
-		view := s.buildView()
+		var view *PickView
+		if s.soloUsable() {
+			// Tight single-candidate loop: refresh the solo candidate
+			// in place instead of rescanning the thread table. Sound
+			// because nothing since the last round can have changed any
+			// other thread's candidacy (see soloUsable).
+			s.refreshSolo()
+			view = &s.view
+		} else if s.cfg.SingleStep {
+			view = s.buildViewAlloc()
+		} else {
+			view = s.buildView()
+		}
 		if len(view.Candidates) == 0 {
 			s.failure = s.deadlockFailure()
 			s.shutdown()
@@ -296,23 +441,103 @@ func (s *Scheduler) loop() {
 			s.shutdown()
 			return
 		}
+		if int(tid) < 0 || int(tid) >= len(s.threads) {
+			s.failure = &Failure{Reason: ReasonDiverged, Step: s.step, TID: tid,
+				Msg: fmt.Sprintf("strategy picked unknown thread %d", tid)}
+			s.shutdown()
+			return
+		}
 		t := s.threads[tid]
-		if t == nil || t.state != stateParked || !opEnabled(t.pending) {
+		if t.state != stateParked || !opEnabled(t.pending) {
 			s.failure = &Failure{Reason: ReasonDiverged, Step: s.step, TID: tid,
 				Msg: fmt.Sprintf("strategy picked non-runnable thread %d", tid)}
 			s.shutdown()
 			return
 		}
-		s.grantTo(t)
+		budget := 1
+		if s.granter != nil {
+			if b := s.granter.RunBudget(view, tid); b > 1 {
+				budget = b
+			}
+		}
+		solo := len(view.Candidates) == 1 && !s.cfg.SingleStep
+		if s.cfg.SingleStep {
+			s.grantSingle(t)
+		} else {
+			s.grantRun(t, budget)
+		}
+		s.soloPrev = solo
+		s.solo = t
 	}
+}
+
+// soloUsable reports whether the tight single-candidate loop may reuse
+// the previous view. That requires: fast-path mode; the previous round
+// offered exactly one candidate (which grantRun then ran); that thread
+// is parked again with an enabled op; and nothing since the pick could
+// have changed any other thread's candidacy — either no other live
+// thread exists at all (effects are then harmless), or the whole run
+// committed without effects and without exits. Enabledness only ever
+// changes through op effects or thread exits (the package's state-
+// mutation contract: Op.Enabled must read only state mutated inside
+// effects, plus Join's done-state which exits flip), so under these
+// conditions the candidate set is provably {solo} again.
+func (s *Scheduler) soloUsable() bool {
+	if !s.soloPrev || s.cfg.SingleStep {
+		return false
+	}
+	t := s.solo
+	if t.state != stateParked || !opEnabled(t.pending) {
+		return false
+	}
+	return s.live == 1 || (!s.effectsRan && !s.exitSeen)
+}
+
+// refreshSolo rewrites the single candidate from the solo thread's new
+// pending op, leaving the view's backing store untouched.
+func (s *Scheduler) refreshSolo() {
+	t := s.solo
+	s.cands = s.cands[:1]
+	s.cands[0] = Candidate{
+		TID:  t.id,
+		Kind: t.pending.Kind,
+		Obj:  t.pending.Obj,
+		Arg:  t.pending.Arg,
+		Cost: t.pending.cost(),
+		Run:  t.remainingRun(),
+	}
+	s.view.Step = s.step
+	s.view.Candidates = s.cands
 }
 
 func opEnabled(op *Op) bool { return op != nil && (op.Enabled == nil || op.Enabled()) }
 
+// buildView refills the reused view/candidate buffer (fast path).
 func (s *Scheduler) buildView() *PickView {
+	s.cands = s.cands[:0]
+	for _, t := range s.threads {
+		if t.state == stateParked && opEnabled(t.pending) {
+			s.cands = append(s.cands, Candidate{
+				TID:  t.id,
+				Kind: t.pending.Kind,
+				Obj:  t.pending.Obj,
+				Arg:  t.pending.Arg,
+				Cost: t.pending.cost(),
+				Run:  t.remainingRun(),
+			})
+		}
+	}
+	s.view.Step = s.step
+	s.view.Candidates = s.cands
+	return &s.view
+}
+
+// buildViewAlloc is the legacy allocate-per-step view construction, kept
+// verbatim as the single-step reference (and the "before" side of the
+// allocs/step benchmarks).
+func (s *Scheduler) buildViewAlloc() *PickView {
 	v := &PickView{Step: s.step}
-	for _, tid := range s.order {
-		t := s.threads[tid]
+	for _, t := range s.threads {
 		if t.state == stateParked && opEnabled(t.pending) {
 			v.Candidates = append(v.Candidates, Candidate{
 				TID:  t.id,
@@ -320,20 +545,25 @@ func (s *Scheduler) buildView() *PickView {
 				Obj:  t.pending.Obj,
 				Arg:  t.pending.Arg,
 				Cost: t.pending.cost(),
+				Run:  t.remainingRun(),
 			})
 		}
 	}
 	return v
 }
 
-func (s *Scheduler) grantTo(t *Thread) {
+// commit commits t's pending op as one step, filling ev (which the
+// effect may amend) and fanning it out to observers. Shared by the fast
+// and single-step paths; ev is &s.ev on the fast path and a fresh
+// stack/heap event in single-step mode.
+func (s *Scheduler) commit(t *Thread, ev *trace.Event) {
 	op := t.pending
 	t.pending = nil
 	t.state = stateRunning
 	s.step++
 	s.mSteps.Inc()
 	t.tcount++
-	ev := trace.Event{
+	*ev = trace.Event{
 		Seq:    s.step,
 		TID:    t.id,
 		TCount: t.tcount,
@@ -344,18 +574,138 @@ func (s *Scheduler) grantTo(t *Thread) {
 	s.res.BaseCost += op.cost()
 	s.sleepReq = false
 	if op.Effect != nil {
-		op.Effect(&EffectCtx{s: s, t: t, Ev: &ev})
+		s.effectsRan = true
+		if ev == &s.ev {
+			s.ectx.t = t
+			op.Effect(&s.ectx)
+		} else {
+			op.Effect(&EffectCtx{s: s, t: t, Ev: ev})
+		}
 	}
 	if int(ev.Kind) < trace.NumKinds {
 		s.res.EventsByKind[ev.Kind]++
 	}
 	for _, o := range s.cfg.Observers {
-		s.res.ExtraCost += o.OnEvent(ev)
+		s.res.ExtraCost += o.OnEvent(*ev)
 	}
+}
+
+// advanceBatch moves t to the next op of its declared batch, if any.
+func advanceBatch(t *Thread) bool {
+	if t.batch != nil && t.batchPos < len(t.batch) {
+		t.pending = t.batch[t.batchPos]
+		t.batchPos++
+		t.state = stateParked
+		return true
+	}
+	t.batch = nil
+	return false
+}
+
+// grantRun commits a run of up to budget steps for t: the pending op,
+// then further ops from t's declared batch (handoff-free) or — when the
+// budget allows — the ops t announces after each grant. The run ends
+// when the budget is spent, the batch and budget end together, the
+// thread sleeps or exits, its next op is disabled, a failure lands, or
+// the step limit is reached. Cancellation is never checked here: it
+// lands between runs, at the pick point.
+func (s *Scheduler) grantRun(t *Thread, budget int) {
+	if budget > 1 {
+		for _, o := range s.runObs {
+			o.OnRunStart(budget)
+		}
+	}
+	s.effectsRan = false
+	s.exitSeen = false
+	runLen := 0
+	for {
+		s.commit(t, &s.ev)
+		runLen++
+		budget--
+		if s.sleepReq {
+			if t.batch != nil && t.batchPos < len(t.batch) {
+				panic("sched: Sleep from a non-final op of a PointBatch")
+			}
+			t.batch = nil
+			t.state = stateAsleep
+			break // thread stays blocked in Point; no announcement coming
+		}
+		if advanceBatch(t) {
+			// Next batch op is staged as pending with no handoff. Commit
+			// it now if the budget allows; otherwise it waits, parked,
+			// for the next pick round.
+			if budget <= 0 || s.step >= s.cfg.MaxSteps || s.failure != nil {
+				break
+			}
+			if s.granter != nil {
+				s.granter.ObserveStep(t.id, t.pending.cost())
+			}
+			s.res.FastPathSteps++
+			s.mFastSteps.Inc()
+			continue
+		}
+		// Batch exhausted (or plain op): hand control back to the thread.
+		s.res.Handoffs++
+		s.mHandoffs.Inc()
+		s.inflight++
+		t.grant <- struct{}{}
+		if budget <= 0 || s.step >= s.cfg.MaxSteps {
+			break
+		}
+		// Continue the run through t's next announcement, parking any
+		// other arrivals (children spawned by this run's effects) as
+		// they come.
+		tDone := false
+		for {
+			a := <-s.announce
+			s.inflight--
+			if a.exited {
+				s.handleExit(a)
+				if a.t == t {
+					tDone = true
+					break
+				}
+				continue
+			}
+			s.park(a)
+			if a.t == t {
+				break
+			}
+		}
+		if tDone || s.failure != nil || !opEnabled(t.pending) {
+			break
+		}
+		if s.granter != nil {
+			s.granter.ObserveStep(t.id, t.pending.cost())
+		}
+		s.res.FastPathSteps++
+		s.mFastSteps.Inc()
+	}
+	s.mRunLen.Observe(float64(runLen))
+}
+
+// grantSingle is the single-step reference path: one committed step per
+// pick, with the legacy per-step event/effect-context allocation. Batch
+// advances still happen protocol-side (the thread blocks in PointBatch
+// until its last op commits), so traces and handoff counts match the
+// fast path exactly.
+func (s *Scheduler) grantSingle(t *Thread) {
+	var ev trace.Event
+	s.commit(t, &ev)
+	s.mRunLen.Observe(1)
 	if s.sleepReq {
+		if t.batch != nil && t.batchPos < len(t.batch) {
+			panic("sched: Sleep from a non-final op of a PointBatch")
+		}
+		t.batch = nil
 		t.state = stateAsleep
 		return // thread stays blocked in Point; no announcement coming
 	}
+	if advanceBatch(t) {
+		return // next batch op waits, parked, for the next pick round
+	}
+	s.res.Handoffs++
+	s.mHandoffs.Inc()
 	s.inflight++
 	t.grant <- struct{}{}
 }
@@ -363,6 +713,7 @@ func (s *Scheduler) grantTo(t *Thread) {
 func (s *Scheduler) handleExit(a announcement) {
 	a.t.state = stateDone
 	s.live--
+	s.exitSeen = true
 	if a.fail != nil && s.failure == nil {
 		s.failure = a.fail
 	}
@@ -389,8 +740,7 @@ func (s *Scheduler) deadlockFailure() *Failure {
 	var b strings.Builder
 	b.WriteString("deadlock: no runnable thread;")
 	waitsFor := make(map[trace.TID]trace.TID)
-	for _, tid := range s.order {
-		t := s.threads[tid]
+	for _, t := range s.threads {
 		switch t.state {
 		case stateParked:
 			desc := t.pending.describe()

@@ -34,15 +34,39 @@ func (Lowest) Pick(view *PickView) (trace.TID, bool) {
 // at "now"), and timeslice preemption occasionally rotates waiting
 // threads in. Given the same seed and program, the schedule is fully
 // deterministic.
+//
+// RandomMP implements RunGranter: when the picked thread has declared a
+// straight-line batch (Candidate.Run > 1) the whole batch is granted as
+// one run — a batch models uninterrupted straight-line execution on one
+// processor, during which no cross-CPU scheduling event can land anyway.
+// Each op of the run is charged exactly the virtual time (speed x
+// per-op jitter) a sequence of single-step picks would have charged, and
+// no dispatch/preemption rolls happen mid-run, so fast-path and
+// single-step modes consume identical rng streams and commit identical
+// schedules. All bookkeeping is indexed by dense TID.
 type RandomMP struct {
 	P       int     // processor count (>=1)
 	Preempt float64 // per-point preemption probability, e.g. 0.02
 	Seed    int64
 
-	rng   *rand.Rand
-	vt    map[trace.TID]float64
-	speed map[trace.TID]float64
-	onCPU map[trace.TID]bool
+	rng *rand.Rand
+	// Dense per-TID state. speed 0 means "not yet drawn" (real factors
+	// lie in [0.75, 1.25], so 0 is a safe sentinel).
+	vt    []float64
+	speed []float64
+	onCPU []bool
+
+	// Reused pick-round scratch.
+	inView  []bool
+	running []Candidate
+	waiting []Candidate
+
+	// Run continuation: set when a full pick round grants a batch run.
+	// In fast-path mode the scheduler drains it through ObserveStep; in
+	// single-step mode Pick itself drains it, charging each op without
+	// fresh dispatch rolls — the same draws either way.
+	runTID  trace.TID
+	runLeft int
 }
 
 // NewRandomMP returns a production-run strategy for p processors.
@@ -55,10 +79,31 @@ func NewRandomMP(p int, preempt float64, seed int64) *RandomMP {
 		Preempt: preempt,
 		Seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
-		vt:      make(map[trace.TID]float64),
-		speed:   make(map[trace.TID]float64),
-		onCPU:   make(map[trace.TID]bool),
 	}
+}
+
+// grow extends the per-TID tables to cover tid.
+func (s *RandomMP) grow(tid trace.TID) {
+	for int(tid) >= len(s.vt) {
+		s.vt = append(s.vt, 0)
+		s.speed = append(s.speed, 0)
+		s.onCPU = append(s.onCPU, false)
+		s.inView = append(s.inView, false)
+	}
+}
+
+// charge advances tid's virtual time by one op of the given cost: the
+// thread's per-run speed factor (drawn on first use) times ±15% per-op
+// jitter. This is the only rng consumption during a run, shared by the
+// full pick round, the single-step continuation branch and ObserveStep.
+func (s *RandomMP) charge(tid trace.TID, cost uint64) {
+	sp := s.speed[tid]
+	if sp == 0 {
+		sp = 0.75 + 0.5*s.rng.Float64()
+		s.speed[tid] = sp
+	}
+	jitter := 0.85 + 0.3*s.rng.Float64()
+	s.vt[tid] += float64(cost) * sp * jitter
 }
 
 // Pick implements Strategy.
@@ -68,26 +113,40 @@ func (s *RandomMP) Pick(view *PickView) (trace.TID, bool) {
 			s.P = 1
 		}
 		s.rng = rand.New(rand.NewSource(s.Seed))
-		s.vt = make(map[trace.TID]float64)
-		s.speed = make(map[trace.TID]float64)
-		s.onCPU = make(map[trace.TID]bool)
+	}
+	if n := len(view.Candidates); n > 0 {
+		s.grow(view.Candidates[n-1].TID) // candidates are TID-sorted
+	}
+
+	// Run continuation (single-step mode): the previous full round
+	// granted a batch run; keep charging its ops without fresh dispatch
+	// or preemption rolls, exactly as ObserveStep does on the fast path.
+	if s.runLeft > 0 {
+		if c, ok := view.Find(s.runTID); ok {
+			s.runLeft--
+			s.charge(c.TID, c.Cost)
+			return c.TID, true
+		}
+		s.runLeft = 0 // run ended early; resume full rounds
 	}
 
 	// A blocked, asleep or exited thread releases its processor (and
 	// will pay the wake-up latency to get one back); the on-CPU set is
 	// the runnable threads that held a processor last round, in
 	// candidate (tid) order for determinism.
-	inView := make(map[trace.TID]bool, len(view.Candidates))
+	for i := range s.inView {
+		s.inView[i] = false
+	}
 	for _, c := range view.Candidates {
-		inView[c.TID] = true
+		s.inView[c.TID] = true
 	}
 	for tid := range s.onCPU {
-		if !inView[tid] {
-			delete(s.onCPU, tid)
+		if s.onCPU[tid] && !s.inView[tid] {
+			s.onCPU[tid] = false
 		}
 	}
-	var running []Candidate
-	var waiting []Candidate
+	running := s.running[:0]
+	waiting := s.waiting[:0]
 	for _, c := range view.Candidates {
 		if s.onCPU[c.TID] {
 			running = append(running, c)
@@ -125,13 +184,14 @@ func (s *RandomMP) Pick(view *PickView) (trace.TID, bool) {
 		vi := s.maxVT(running)
 		wi := s.minVT(waiting)
 		victim, incoming := running[vi], waiting[wi]
-		delete(s.onCPU, victim.TID)
+		s.onCPU[victim.TID] = false
 		s.onCPU[incoming.TID] = true
 		if s.vt[incoming.TID] < s.vt[victim.TID] {
 			s.vt[incoming.TID] = s.vt[victim.TID]
 		}
 		running[vi] = incoming
 	}
+	s.running, s.waiting = running[:0], waiting[:0] // return scratch
 
 	// The thread furthest behind in virtual time executes next. Its op
 	// costs its duration scaled by the thread's per-run speed factor —
@@ -141,14 +201,30 @@ func (s *RandomMP) Pick(view *PickView) (trace.TID, bool) {
 	// run — plus ±15% per-op jitter.
 	i := s.minVT(running)
 	choice := running[i]
-	sp, ok := s.speed[choice.TID]
-	if !ok {
-		sp = 0.75 + 0.5*s.rng.Float64()
-		s.speed[choice.TID] = sp
+	s.charge(choice.TID, choice.Cost)
+	if choice.Run > 1 {
+		s.runTID = choice.TID
+		s.runLeft = choice.Run - 1
 	}
-	jitter := 0.85 + 0.3*s.rng.Float64()
-	s.vt[choice.TID] += float64(choice.Cost) * sp * jitter
 	return choice.TID, true
+}
+
+// RunBudget implements RunGranter: the picked thread's declared batch is
+// granted whole (Pick just primed the continuation from Candidate.Run).
+func (s *RandomMP) RunBudget(view *PickView, tid trace.TID) int {
+	if tid == s.runTID && s.runLeft > 0 {
+		return 1 + s.runLeft
+	}
+	return 1
+}
+
+// ObserveStep implements RunGranter: charge one run op's virtual time,
+// mirroring the single-step continuation branch of Pick draw for draw.
+func (s *RandomMP) ObserveStep(tid trace.TID, cost uint64) {
+	if s.runLeft > 0 {
+		s.runLeft--
+	}
+	s.charge(tid, cost)
 }
 
 // wakeLatency bounds the randomized dispatch delay (in cost units, see
@@ -180,6 +256,12 @@ func (s *RandomMP) maxVT(cs []Candidate) int {
 // recorded thread is not runnable at its turn the run diverges — with a
 // faithful full order this never happens, which is the paper's
 // "reproduce every time" property.
+//
+// OrderStrategy implements RunGranter: a stretch of consecutive
+// same-thread entries in the recorded order is by definition an
+// uninterrupted run, so it is granted whole and the cursor advances
+// through ObserveStep. Full-order reproduction therefore gets the fast
+// path for free without any loss of fidelity.
 type OrderStrategy struct {
 	Order []trace.TID
 	pos   int
@@ -196,6 +278,24 @@ func (s *OrderStrategy) Pick(view *PickView) (trace.TID, bool) {
 	}
 	s.pos++
 	return tid, true
+}
+
+// RunBudget implements RunGranter: the run extends over the recorded
+// order's consecutive entries for tid following the one Pick consumed.
+func (s *OrderStrategy) RunBudget(view *PickView, tid trace.TID) int {
+	n := 1
+	for i := s.pos; i < len(s.Order) && s.Order[i] == tid; i++ {
+		n++
+	}
+	return n
+}
+
+// ObserveStep implements RunGranter: advance the cursor over the run
+// entry the scheduler is about to commit.
+func (s *OrderStrategy) ObserveStep(tid trace.TID, cost uint64) {
+	if s.pos < len(s.Order) && s.Order[s.pos] == tid {
+		s.pos++
+	}
 }
 
 // Consumed returns how many scheduling decisions have been replayed.

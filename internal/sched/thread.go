@@ -16,6 +16,11 @@ type Op struct {
 	Arg  uint64
 	// Enabled reports whether the op can currently proceed (e.g., a lock
 	// acquire is enabled iff the mutex is free). nil means always.
+	//
+	// Enabled must read only simulation state mutated inside op effects
+	// (plus a target thread's done-state, as Join does): the scheduler's
+	// tight single-candidate loop relies on enabledness being unable to
+	// change while no effect runs and no thread exits.
 	Enabled func() bool
 	// Effect applies the op at grant time. It may adjust the committed
 	// event via ctx.Ev (e.g., record the loaded value in Arg), put the
@@ -72,7 +77,8 @@ func (c *EffectCtx) Self() *Thread { return c.t }
 
 // Sleep keeps the performing thread blocked after the effect: it stays
 // at its point with no pending op until another thread's effect calls
-// WakeWith. Used for condition-variable wait.
+// WakeWith. Used for condition-variable wait. Only the final op of a
+// PointBatch may sleep.
 func (c *EffectCtx) Sleep() { c.s.sleepReq = true }
 
 // WakeWith installs op as the pending operation of an asleep thread,
@@ -117,9 +123,25 @@ type Thread struct {
 	pending *Op
 	state   threadState
 	tcount  uint64
+	// batch is the straight-line run declared with PointBatch, if any;
+	// batch[batchPos-1] == pending while the batch is being consumed.
+	// The scheduler advances through it without granting until the last
+	// op commits.
+	batch    []*Op
+	batchPos int
 
-	// exited flags threads whose goroutine has finished; used by Join.
-	// Owned like state.
+	// yieldOp backs Yield without a per-call allocation; the op is
+	// immutable after addThread.
+	yieldOp Op
+}
+
+// remainingRun reports how many declared straight-line ops the thread
+// has left, counting the pending one (1 for a plain op).
+func (t *Thread) remainingRun() int {
+	if t.batch != nil {
+		return len(t.batch) - t.batchPos + 1
+	}
+	return 1
 }
 
 // ID returns the thread id.
@@ -143,9 +165,52 @@ func (t *Thread) Point(op *Op) {
 	}
 }
 
+// PointBatch parks the thread at a pre-declared straight-line run of
+// operations and returns after the last one has been committed. Each op
+// is a real scheduling point — it is separately granted (or withheld)
+// by the scheduler, appears as its own committed event, and a strategy
+// with run budget 1 can interleave other threads between any two batch
+// ops — but the whole batch costs a single announce/grant channel
+// round-trip instead of one per op.
+//
+// Batch ops must be unconditional (nil Enabled): a batch is a
+// declaration that the thread will perform these ops back to back with
+// no blocking in between, which is what lets the scheduler commit them
+// without handing control back. Effects are allowed (loads, stores,
+// spawns); only the final op may Sleep. Intended for effect-light
+// straight-line code such as the compute loops in fft/lu/radix/barnes.
+//
+// Under Config.NoBatch the batch decomposes into sequential Point
+// calls — the measurement baseline with one handoff per op.
+func (t *Thread) PointBatch(ops ...*Op) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(ops) == 1 || t.s.cfg.NoBatch {
+		for _, op := range ops {
+			t.Point(op)
+		}
+		return
+	}
+	for _, op := range ops {
+		if op.Kind == trace.KindInvalid {
+			panic("sched: PointBatch with invalid kind")
+		}
+		if op.Enabled != nil {
+			panic("sched: PointBatch op with an Enabled gate (batches must be unconditional)")
+		}
+	}
+	t.s.announce <- announcement{t: t, op: ops[0], run: ops}
+	select {
+	case <-t.grant:
+	case <-t.s.stopC:
+		panic(&Failure{Reason: reasonStopped})
+	}
+}
+
 // Yield parks the thread at a pure scheduling point with no effect.
 func (t *Thread) Yield() {
-	t.Point(&Op{Kind: trace.KindYield})
+	t.Point(&t.yieldOp)
 }
 
 // Spawn starts fn as a new thread and returns its handle. The spawn

@@ -19,6 +19,7 @@ import (
 // BenchmarkSchedulingPoint measures the substrate's event throughput:
 // the announce/grant handshake plus bookkeeping per instrumented op.
 func BenchmarkSchedulingPoint(b *testing.B) {
+	b.ReportAllocs()
 	res := sched.Run(func(th *sched.Thread) {
 		for i := 0; i < b.N; i++ {
 			th.Yield()
@@ -26,6 +27,95 @@ func BenchmarkSchedulingPoint(b *testing.B) {
 	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: uint64(b.N) + 10})
 	if res.Failure != nil {
 		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkSchedulingPointSingleStep is the same loop under the legacy
+// one-pick-one-step reference mode with per-step allocations — the
+// "before" side of the fast-path comparison.
+func BenchmarkSchedulingPointSingleStep(b *testing.B) {
+	b.ReportAllocs()
+	res := sched.Run(func(th *sched.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Yield()
+		}
+	}, sched.Config{Strategy: sched.Lowest{}, MaxSteps: uint64(b.N) + 10, SingleStep: true})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+}
+
+// BenchmarkSchedulingPointBatch measures throughput of declared
+// straight-line batches: four ops per announce/grant round-trip.
+func BenchmarkSchedulingPointBatch(b *testing.B) {
+	b.ReportAllocs()
+	batch := []*sched.Op{
+		{Kind: trace.KindBB, Obj: 1},
+		{Kind: trace.KindStore, Obj: 2},
+		{Kind: trace.KindStore, Obj: 3},
+		{Kind: trace.KindStore, Obj: 4},
+	}
+	res := sched.Run(func(th *sched.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.PointBatch(batch...)
+		}
+	}, sched.Config{Strategy: sched.NewRandomMP(1, 0, 1), MaxSteps: 4*uint64(b.N) + 10})
+	if res.Failure != nil {
+		b.Fatal(res.Failure)
+	}
+	if res.Steps != 4*uint64(b.N)+2 {
+		b.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+// countObserver exercises the observer fan-out without retaining events.
+type countObserver struct{ n uint64 }
+
+func (c *countObserver) OnEvent(ev trace.Event) uint64 {
+	c.n++
+	return 0
+}
+
+// TestSchedGrantLoopAllocFree is the allocation gate for the grant fast
+// path: a run of ~9k scheduling points (yields through the tight
+// single-candidate loop plus pre-declared batches, with an observer
+// fanning out every event) must stay within a small fixed allocation
+// budget — per-step allocations are zero; only per-run setup (thread,
+// channels, goroutine) remains. The legacy single-step mode allocates a
+// view, candidate slice, and effect context per step and would exceed
+// this bound by orders of magnitude.
+func TestSchedGrantLoopAllocFree(t *testing.T) {
+	const yields, batches = 5000, 1000
+	batch := []*sched.Op{
+		{Kind: trace.KindBB, Obj: 1},
+		{Kind: trace.KindStore, Obj: 2},
+		{Kind: trace.KindStore, Obj: 3},
+		{Kind: trace.KindStore, Obj: 4},
+	}
+	const steps = yields + 4*batches + 2
+	run := func() {
+		obs := &countObserver{}
+		res := sched.Run(func(th *sched.Thread) {
+			for i := 0; i < yields; i++ {
+				th.Yield()
+			}
+			for i := 0; i < batches; i++ {
+				th.PointBatch(batch...)
+			}
+		}, sched.Config{Strategy: sched.Lowest{}, Observers: []sched.Observer{obs}})
+		if res.Failure != nil {
+			t.Fatal(res.Failure)
+		}
+		if res.Steps != steps || obs.n != steps {
+			t.Fatalf("steps = %d, observed = %d, want %d", res.Steps, obs.n, steps)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, run)
+	// Fixed per-run setup costs tens of allocations; at ~9k steps any
+	// per-step allocation would blow far past this bound.
+	if allocs > 100 {
+		t.Fatalf("grant loop allocated %.0f objects over %d steps (%.4f/step); want amortized zero",
+			allocs, steps, allocs/steps)
 	}
 }
 
