@@ -4,13 +4,15 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test bench stress fuzz-short
+.PHONY: check build vet lint test bench stress fuzz-short docs-drift
 
-## check: the full gate — build everything, lint (gofmt + vet), test
-## under -race (including the fast-path equivalence properties in
+## check: the full gate — build everything, lint (gofmt + vet), verify
+## the metric docs are in sync, test under -race (including the
+## fast-path and per-thread-log equivalence properties in
 ## internal/sched and internal/core), stress the search engine, and
-## give every fuzz target a short budget.
-check: build lint stress fuzz-short
+## give every fuzz target a short budget (which includes the
+## per-thread merge fuzzer FuzzShardMergeRoundTrip).
+check: build lint docs-drift stress fuzz-short
 	$(GO) test -race ./...
 
 build:
@@ -57,9 +59,26 @@ fuzz-short:
 ## (BenchmarkSchedulingPoint/SingleStep/Batch) with its zero-alloc
 ## gate (TestSchedGrantLoopAllocFree). presperf distills the headline
 ## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2,
-## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS, and the run-grant
+## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS, the run-grant
 ## fast path's per-app steps/sec, handoffs/step, and allocs/step
-## before vs after — into BENCH_pr5.json.
+## before vs after, and the record path's global-log vs per-thread-log
+## fleet throughput across a GOMAXPROCS sweep — into BENCH_pr6.json.
 bench:
 	$(GO) test -run TestSchedGrantLoopAllocFree -bench . -benchtime 1s .
-	$(GO) run ./cmd/presperf -out BENCH_pr5.json
+	$(GO) run ./cmd/presperf -out BENCH_pr6.json
+
+## docs-drift: every pres_-prefixed metric name registered anywhere in
+## the source (internal/obs wiring in sched/core/harness/cmd) must have
+## a row in OBSERVABILITY.md; a metric added without documentation
+## fails the gate.
+docs-drift:
+	@set -e; \
+	names=$$(grep -ohrE '"pres_[a-z_]+"' --include='*.go' --exclude='*_test.go' internal cmd | tr -d '"' | sort -u); \
+	missing=0; \
+	for n in $$names; do \
+		if ! grep -q "$$n" OBSERVABILITY.md; then \
+			echo "docs-drift: metric $$n is registered in code but missing from OBSERVABILITY.md"; missing=1; \
+		fi; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi; \
+	echo "docs-drift: $$(echo "$$names" | wc -l) pres_ metrics all documented"

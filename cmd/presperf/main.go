@@ -1,5 +1,5 @@
 // Presperf measures the repo's performance claims and writes them to a
-// JSON file (BENCH_pr5.json via the Makefile bench target):
+// JSON file (BENCH_pr6.json via the Makefile bench target):
 //
 //  1. sketch-encoder density and speed per scheme, v1 vs v2, on a real
 //     recorded mysqld production run;
@@ -12,10 +12,16 @@
 //     op), after is the default fast path with declared batches.
 //     Reported per app: steps/sec, handoffs/step, allocs/step, and the
 //     fraction of steps committed without a fresh pick.
+//  4. the record path, global log vs per-thread shards
+//     (Options.PerThreadLog): for a fleet of concurrent production
+//     recordings — the production framing where many recorded
+//     executions share one machine — aggregate steps/sec at each
+//     GOMAXPROCS, in both modes, plus each mode's modelled recording
+//     overhead and a byte-identity check on the recordings.
 //
 // Usage:
 //
-//	presperf -out BENCH_pr5.json
+//	presperf -out BENCH_pr6.json
 package main
 
 import (
@@ -27,12 +33,16 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/appkit"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sketch"
 	"repro/internal/trace"
@@ -73,12 +83,36 @@ type schedResult struct {
 	FastPathStepFrac      float64 `json:"fastpath_step_frac"`
 }
 
+type recordSweepPoint struct {
+	Procs                int     `json:"gomaxprocs"`
+	GlobalStepsPerSec    float64 `json:"global_steps_per_sec"`
+	PerThreadStepsPerSec float64 `json:"per_thread_steps_per_sec"`
+}
+
+type recordResult struct {
+	App                  string  `json:"app"`
+	Scheme               string  `json:"scheme"`
+	Fleet                int     `json:"fleet"` // concurrent recordings per measurement
+	StepsPerRun          uint64  `json:"steps_per_run"`
+	GlobalOverheadPct    float64 `json:"global_overhead_pct"`
+	PerThreadOverheadPct float64 `json:"per_thread_overhead_pct"`
+	EpochSeals           uint64  `json:"epoch_seals"`
+	BytesIdentical       bool    `json:"bytes_identical"`
+	// Sweep holds aggregate fleet throughput per GOMAXPROCS setting;
+	// the speedups compare each mode's max-procs point to its 1-proc
+	// point.
+	Sweep            []recordSweepPoint `json:"sweep"`
+	GlobalSpeedup    float64            `json:"gomaxprocs_speedup_global"`
+	PerThreadSpeedup float64            `json:"gomaxprocs_speedup_per_thread"`
+}
+
 type report struct {
 	Tool       string          `json:"tool"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	Encode     []encodeResult  `json:"encode"`
 	Harness    []harnessResult `json:"harness"`
 	Sched      []schedResult   `json:"sched"`
+	Record     []recordResult  `json:"record"`
 }
 
 // countWriter measures encoded size without retaining bytes.
@@ -92,7 +126,7 @@ func (w *countWriter) Write(p []byte) (int, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presperf: ")
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	scale := flag.Int("scale", 400, "workload scale for the recorded run")
 	overheadScale := flag.Int("overhead-scale", 150, "workload scale for the harness matrix timing")
 	schedScale := flag.Int("sched-scale", 300, "workload scale for the fast-path before/after runs")
@@ -161,6 +195,33 @@ func main() {
 			r.App, r.Speedup, r.BeforeStepsPerSec/1e6, r.AfterStepsPerSec/1e6,
 			r.BeforeHandoffsPerStep, r.AfterHandoffsPerStep,
 			r.BeforeAllocsPerStep, r.AfterAllocsPerStep, 100*r.FastPathStepFrac)
+	}
+
+	// Record path, global vs per-thread logs: compute kernels record RW
+	// (the dense sketch the per-thread log exists for); the server/
+	// utility apps record SYNC.
+	for _, rc := range []struct {
+		app    string
+		scheme sketch.Scheme
+	}{
+		{"fft", sketch.RW},
+		{"lu", sketch.RW},
+		{"barnes", sketch.RW},
+		{"mysqld", sketch.SYNC},
+		{"pbzip2", sketch.SYNC},
+	} {
+		prog, ok := apps.Get(rc.app)
+		if !ok {
+			log.Fatalf("%s not in corpus", rc.app)
+		}
+		r := timeRecordFleet(prog, rc.scheme, *schedScale, *reps)
+		rep.Record = append(rep.Record, r)
+		last := r.Sweep[len(r.Sweep)-1]
+		fmt.Printf("record %-9s %-4s fleet=%d  @%dprocs %.2fM -> %.2fM steps/s  scaling x%.2f/x%.2f  overhead %.1f%% -> %.1f%%  seals=%d identical=%v\n",
+			r.App, r.Scheme, r.Fleet, last.Procs,
+			last.GlobalStepsPerSec/1e6, last.PerThreadStepsPerSec/1e6,
+			r.GlobalSpeedup, r.PerThreadSpeedup,
+			r.GlobalOverheadPct, r.PerThreadOverheadPct, r.EpochSeals, r.BytesIdentical)
 	}
 
 	f, err := os.Create(*out)
@@ -258,6 +319,114 @@ func measureRecord(prog *appkit.Program, opts core.Options, reps int) (uint64, f
 		}
 	}
 	return res.Steps, bestRate, bestAllocs, res
+}
+
+// timeRecordFleet measures the record path the way production runs it:
+// a fleet of concurrent recordings (independent seeds, one goroutine
+// each) sharing one machine. For each GOMAXPROCS in {1, 2, 4, ...}
+// up to max(NumCPU, 4) it times the whole fleet in global-log and
+// per-thread-log modes (best-of-reps) and reports aggregate steps/sec;
+// the sweep shows real scaling only on hosts with that many physical
+// cores. One untimed pair per app also yields the modelled overheads,
+// the epoch-seal count and a byte-identity check on the recordings.
+func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int) recordResult {
+	opts := core.Options{
+		Scheme:       scheme,
+		Processors:   4,
+		ScheduleSeed: 1,
+		WorldSeed:    1,
+		Scale:        scale,
+		MaxSteps:     5_000_000,
+		FixBugs:      true,
+	}
+	shardOpts := opts
+	shardOpts.PerThreadLog = true
+
+	r := recordResult{App: prog.Name, Scheme: scheme.String()}
+
+	// Correctness and modelled-cost probe (single runs, untimed).
+	global := core.Record(prog, opts)
+	reg := obs.NewRegistry()
+	shardOptsM := shardOpts
+	shardOptsM.Metrics = reg
+	perThread := core.Record(prog, shardOptsM)
+	var gb, sb bytes.Buffer
+	if err := global.Write(&gb); err != nil {
+		log.Fatal(err)
+	}
+	if err := perThread.Write(&sb); err != nil {
+		log.Fatal(err)
+	}
+	r.BytesIdentical = bytes.Equal(gb.Bytes(), sb.Bytes())
+	r.StepsPerRun = global.Result.Steps
+	r.GlobalOverheadPct = 100 * global.Result.Overhead()
+	r.PerThreadOverheadPct = 100 * perThread.Result.Overhead()
+	for key, v := range reg.Snapshot().Counters {
+		if strings.HasPrefix(key, "pres_record_epoch_seals_total") {
+			r.EpochSeals += v
+		}
+	}
+
+	maxProcs := runtime.NumCPU()
+	if maxProcs < 4 {
+		maxProcs = 4
+	}
+	fleet := maxProcs
+	if fleet > 8 {
+		fleet = 8
+	}
+	r.Fleet = fleet
+
+	runFleet := func(o core.Options) float64 {
+		var steps atomic.Uint64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < fleet; i++ {
+			o := o
+			o.ScheduleSeed = int64(1 + i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				steps.Add(core.Record(prog, o).Result.Steps)
+			}()
+		}
+		wg.Wait()
+		return float64(steps.Load()) / time.Since(start).Seconds()
+	}
+	bestOf := func(o core.Options) float64 {
+		best := 0.0
+		for i := 0; i < reps; i++ {
+			if rate := runFleet(o); rate > best {
+				best = rate
+			}
+		}
+		return best
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for procs := 1; ; procs *= 2 {
+		if procs > maxProcs {
+			if p := maxProcs; r.Sweep[len(r.Sweep)-1].Procs != p {
+				procs = p // close the sweep at the exact core count
+			} else {
+				break
+			}
+		}
+		runtime.GOMAXPROCS(procs)
+		r.Sweep = append(r.Sweep, recordSweepPoint{
+			Procs:                procs,
+			GlobalStepsPerSec:    bestOf(opts),
+			PerThreadStepsPerSec: bestOf(shardOpts),
+		})
+		if procs == maxProcs {
+			break
+		}
+	}
+	first, last := r.Sweep[0], r.Sweep[len(r.Sweep)-1]
+	r.GlobalSpeedup = last.GlobalStepsPerSec / first.GlobalStepsPerSec
+	r.PerThreadSpeedup = last.PerThreadStepsPerSec / first.PerThreadStepsPerSec
+	return r
 }
 
 // timeMatrix times one experiment's full matrix at -j 1 and

@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Int("scale", 0, "workload scale (0 = app default)")
 	worldSeed := flag.Int64("world-seed", 1, "virtual syscall world seed")
 	fixed := flag.Bool("fixed", false, "run the patched (bug-free) variant")
+	perThreadLog := flag.Bool("per-thread-log", false, "record into per-thread sketch shards merged at encode time (same bytes, cheaper modelled overhead for dense schemes)")
 	out := flag.String("o", "", "write the recording to this file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -65,11 +66,12 @@ func main() {
 	}
 
 	opts := repro.Options{
-		Scheme:     scheme,
-		Processors: *procs,
-		WorldSeed:  *worldSeed,
-		Scale:      *scale,
-		FixBugs:    *fixed,
+		Scheme:       scheme,
+		Processors:   *procs,
+		WorldSeed:    *worldSeed,
+		Scale:        *scale,
+		FixBugs:      *fixed,
+		PerThreadLog: *perThreadLog,
 	}
 
 	// Observability sinks (see OBSERVABILITY.md). The trace gets one

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sketch"
+)
+
+// TestPropPerThreadLogEquivalence: per-thread sketch logging is
+// invisible to everything PRES keeps. For a corpus subset, a
+// production recording made with Options.PerThreadLog is byte-for-byte
+// identical (sketch log and input log, through Recording.Write) to one
+// made against the global reference log, the run shape matches, and a
+// full replay search over each follows the identical trajectory. Only
+// the modelled recording cost (Result.ExtraCost, Overhead) may differ
+// — that cost difference IS the feature.
+func TestPropPerThreadLogEquivalence(t *testing.T) {
+	cases := []struct {
+		app    string
+		scheme sketch.Scheme
+	}{
+		{"fft", sketch.SYNC},
+		{"lu", sketch.SYNC},
+		{"barnes", sketch.SYNC},
+		{"mysqld", sketch.SYNC},
+		{"radix", sketch.SYNC},
+		{"aget", sketch.RW},
+		// Dense sketch over long compute runs: the case per-thread
+		// logging exists for, asserted cheaper below.
+		{"fft-rw", sketch.RW},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app+"-"+tc.scheme.String(), func(t *testing.T) {
+			prog, ok := apps.Get(appName(tc.app))
+			if !ok {
+				t.Fatalf("unknown corpus app %q", tc.app)
+			}
+			// Prefer a seed whose production run manifests a bug so the
+			// replay comparison exercises the directed search, feedback
+			// and order capture; fall back to a clean recording.
+			opt := Options{Scheme: tc.scheme, Processors: 4, WorldSeed: 11, MaxSteps: 400_000}
+			for seed := int64(0); seed < 300; seed++ {
+				opt.ScheduleSeed = seed
+				if Record(prog, opt).BugFailure() != nil {
+					break
+				}
+			}
+
+			globalOpt, shardOpt := opt, opt
+			shardOpt.PerThreadLog = true
+			global := Record(prog, globalOpt)
+			shard := Record(prog, shardOpt)
+
+			var gb, sb bytes.Buffer
+			if err := global.Write(&gb); err != nil {
+				t.Fatal(err)
+			}
+			if err := shard.Write(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb.Bytes(), sb.Bytes()) {
+				t.Fatalf("recorded logs differ between global and per-thread modes (%d vs %d bytes)", gb.Len(), sb.Len())
+			}
+			gr, sr := global.Result, shard.Result
+			if gr.Steps != sr.Steps || gr.BaseCost != sr.BaseCost || gr.Threads != sr.Threads ||
+				gr.Handoffs != sr.Handoffs || gr.FastPathSteps != sr.FastPathSteps {
+				t.Fatalf("run shape differs:\nglobal:     %+v\nper-thread: %+v", gr, sr)
+			}
+			if !reflect.DeepEqual(gr.EventsByKind, sr.EventsByKind) {
+				t.Fatalf("event kind histograms differ: %v vs %v", gr.EventsByKind, sr.EventsByKind)
+			}
+			if (gr.Failure == nil) != (sr.Failure == nil) {
+				t.Fatalf("failure presence differs: %v vs %v", gr.Failure, sr.Failure)
+			}
+			if gr.Failure != nil && (gr.Failure.Reason != sr.Failure.Reason || gr.Failure.BugID != sr.Failure.BugID || gr.Failure.Step != sr.Failure.Step) {
+				t.Fatalf("failures differ: %v vs %v", gr.Failure, sr.Failure)
+			}
+			if tc.app == "fft-rw" && sr.ExtraCost >= gr.ExtraCost {
+				// Dense sketch, long same-thread runs: local appends plus
+				// per-switch seals must undercut per-record global
+				// synchronization.
+				t.Fatalf("per-thread recording cost %d not below global %d on a dense sketch",
+					sr.ExtraCost, gr.ExtraCost)
+			}
+
+			// Replay trajectories: the searches consume only Sketch+Inputs
+			// (byte-identical above), so the trajectories must match field
+			// for field. shard.Options carries PerThreadLog into every
+			// replay attempt's recording mode, proving the attempt path is
+			// equally indifferent.
+			ropts := ReplayOptions{Feedback: true, MaxAttempts: 60}
+			rg := Replay(prog, global, ropts)
+			rs := Replay(prog, shard, ropts)
+			if rg.Reproduced != rs.Reproduced || rg.Attempts != rs.Attempts || rg.Flips != rs.Flips {
+				t.Fatalf("search trajectories differ: %v/%d/%d vs %v/%d/%d",
+					rg.Reproduced, rg.Attempts, rg.Flips, rs.Reproduced, rs.Attempts, rs.Flips)
+			}
+			if !reflect.DeepEqual(rg.Stats, rs.Stats) {
+				t.Fatalf("search stats differ:\nglobal:     %+v\nper-thread: %+v", rg.Stats, rs.Stats)
+			}
+			if !reflect.DeepEqual(rg.Order, rs.Order) {
+				t.Fatal("captured orders differ between modes")
+			}
+			if !reflect.DeepEqual(rg.RootCauses, rs.RootCauses) {
+				t.Fatalf("root causes differ: %v vs %v", rg.RootCauses, rs.RootCauses)
+			}
+			if rg.Reproduced {
+				og := Reproduce(prog, global, rg.Order)
+				os := Reproduce(prog, shard, rs.Order)
+				if og.Failure == nil || os.Failure == nil || og.Failure.BugID != os.Failure.BugID {
+					t.Fatalf("order reproduction differs: %v vs %v", og.Failure, os.Failure)
+				}
+				if og.Steps != os.Steps || og.Handoffs != os.Handoffs {
+					t.Fatalf("order replay shape differs: steps %d/%d handoffs %d/%d",
+						og.Steps, os.Steps, og.Handoffs, os.Handoffs)
+				}
+			}
+			t.Logf("%s/%s: steps=%d extra(global)=%d extra(per-thread)=%d attempts=%d reproduced=%v",
+				tc.app, tc.scheme, gr.Steps, gr.ExtraCost, sr.ExtraCost, rg.Attempts, rg.Reproduced)
+		})
+	}
+}
+
+// appName strips the scheme-variant suffix used to run one app under
+// two schemes in the case table.
+func appName(name string) string {
+	if name == "fft-rw" {
+		return "fft"
+	}
+	return name
+}
+
+// TestPerThreadRecordRaceClean: concurrent per-thread-mode recordings
+// share nothing — run under -race (as `make check` does), N parallel
+// Records of the same program must all be byte-identical to a
+// reference recording. This is the stress gate for the shard/seal
+// plumbing's freedom from hidden shared state.
+func TestPerThreadRecordRaceClean(t *testing.T) {
+	prog, ok := apps.Get("fft")
+	if !ok {
+		t.Fatal("unknown corpus app fft")
+	}
+	opt := Options{Scheme: sketch.RW, Processors: 4, ScheduleSeed: 7, WorldSeed: 11,
+		MaxSteps: 400_000, PerThreadLog: true}
+	var refBuf bytes.Buffer
+	if err := Record(prog, opt).Write(&refBuf); err != nil {
+		t.Fatal(err)
+	}
+	ref := refBuf.Bytes()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := Record(prog, opt).Write(&buf); err != nil {
+				errs[w] = err.Error()
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), ref) {
+				errs[w] = "recording differs from reference"
+			}
+		}()
+	}
+	wg.Wait()
+	for w, e := range errs {
+		if e != "" {
+			t.Fatalf("worker %d: %s", w, e)
+		}
+	}
+}

@@ -49,6 +49,16 @@ type Options struct {
 	// run-aware strategies, so unlike SingleStep this changes recorded
 	// schedules.
 	NoBatch bool
+	// PerThreadLog records into thread-local sketch shards sealed at
+	// epoch boundaries (context switches) and merged into canonical
+	// global order at encode time, instead of the globally ordered log
+	// every append synchronizes on. The recording is byte-identical and
+	// replays identically (TestPropPerThreadLogEquivalence); only the
+	// modelled recording cost changes — cheaper for dense sketches with
+	// long same-thread runs, pricier for very sparse ones (see
+	// sketch.LocalRecordCost/EpochSealCost). The global log remains the
+	// default and the reference path.
+	PerThreadLog bool
 	// Metrics, when non-nil, receives recording metrics (sketch entries
 	// written, log bytes, modelled overhead — see OBSERVABILITY.md) and
 	// the substrate's scheduler counters. Nil, the default, keeps the
@@ -206,7 +216,20 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 	world := vsys.NewWorld(opts.WorldSeed)
 	inputs := &trace.InputLog{}
 	world.StartRecording(inputs)
-	rec := sketch.NewRecorder(opts.Scheme)
+	// Both recorder kinds observe the same committed stream; they differ
+	// only in where appends land (global log vs per-thread shards) and
+	// in the modelled cost charged per record.
+	var rec interface {
+		sched.Observer
+		Log() *trace.SketchLog
+	}
+	var shardRec *sketch.ShardRecorder
+	if opts.PerThreadLog {
+		shardRec = sketch.NewShardRecorder(opts.Scheme)
+		rec = shardRec
+	} else {
+		rec = sketch.NewRecorder(opts.Scheme)
+	}
 	res := execute(prog, opts, sched.Config{
 		Strategy:  sched.NewRandomMP(opts.processors(), opts.preempt(), opts.ScheduleSeed),
 		Observers: []sched.Observer{rec},
@@ -214,15 +237,26 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 		Metrics:   opts.Metrics,
 		Ctx:       ctx,
 	}, world)
+	scheme := opts.Scheme.String()
+	// Merge-on-encode: the first Log() call on a ShardRecorder performs
+	// the canonical-order merge (timed when metrics are on; the Timer is
+	// nil-safe, so the untimed path costs nothing).
+	var log *trace.SketchLog
+	if shardRec != nil && opts.Metrics != nil {
+		sp := opts.Metrics.Timer("pres_record_merge_seconds", "scheme", scheme).Start()
+		log = shardRec.Log()
+		sp.Stop()
+	} else {
+		log = rec.Log()
+	}
 	out := &Recording{
 		Scheme:  opts.Scheme,
-		Sketch:  rec.Log(),
+		Sketch:  log,
 		Inputs:  inputs,
 		Options: opts,
 		Result:  res,
 	}
 	if m := opts.Metrics; m != nil {
-		scheme := opts.Scheme.String()
 		m.Counter("pres_record_runs_total", "scheme", scheme).Inc()
 		m.Counter("pres_record_steps_total", "scheme", scheme).Add(res.Steps)
 		m.Counter("pres_record_sketch_entries_total", "scheme", scheme).Add(uint64(out.Sketch.Len()))
@@ -234,6 +268,11 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 		sp.Stop()
 		m.Counter("pres_record_log_bytes_total", "scheme", scheme).Add(uint64(logBytes))
 		m.Gauge("pres_record_overhead_ratio", "scheme", scheme).Set(res.Overhead())
+		if shardRec != nil {
+			m.Counter("pres_record_epoch_seals_total", "scheme", scheme).Add(shardRec.Seals())
+			m.Gauge("pres_record_shards", "scheme", scheme).Set(float64(shardRec.Shards()))
+			m.Gauge("pres_record_shard_highwater_entries", "scheme", scheme).SetMax(float64(shardRec.HighWater()))
+		}
 	}
 	return out
 }

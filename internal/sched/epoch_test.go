@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// epochObserver records every event, every run announcement's tid, and
+// every epoch seal, so the tests can check the seal points against the
+// committed stream.
+type epochObserver struct {
+	evs      []trace.Event
+	runTIDs  []trace.TID
+	runAt    []int // len(evs) when the announcement fired
+	seals    []trace.TID
+	sealCost uint64
+}
+
+func (o *epochObserver) OnEvent(ev trace.Event) uint64 {
+	o.evs = append(o.evs, ev)
+	return 0
+}
+
+func (o *epochObserver) OnRunStart(tid trace.TID, n int) {
+	o.runTIDs = append(o.runTIDs, tid)
+	o.runAt = append(o.runAt, len(o.evs))
+}
+
+func (o *epochObserver) OnEpochSeal(tid trace.TID) uint64 {
+	o.seals = append(o.seals, tid)
+	return o.sealCost
+}
+
+// expectedSeals derives the seal sequence the epoch contract promises
+// from a committed event stream: one seal of the outgoing thread at
+// every TID change, plus a final seal of the last thread. Every grant
+// commits at least one event, so stream TID changes are exactly the
+// control transfers.
+func expectedSeals(evs []trace.Event) []trace.TID {
+	var seals []trace.TID
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TID != evs[i-1].TID {
+			seals = append(seals, evs[i-1].TID)
+		}
+	}
+	if len(evs) > 0 {
+		seals = append(seals, evs[len(evs)-1].TID)
+	}
+	return seals
+}
+
+// TestEpochSealsAtControlTransfers: an EpochObserver is sealed exactly
+// at control transfers (never inside a same-thread run, however many
+// grants it spans) plus once at end of execution — in both the fast
+// path and the single-step reference mode, with identical sequences.
+func TestEpochSealsAtControlTransfers(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		label := fmt.Sprintf("seed=%d", seed)
+		fast := &epochObserver{}
+		Run(batchWorkload(3, 5), Config{
+			Strategy: NewRandomMP(2, 0.1, seed), Observers: []Observer{fast}})
+		slow := &epochObserver{}
+		Run(batchWorkload(3, 5), Config{
+			Strategy: NewRandomMP(2, 0.1, seed), Observers: []Observer{slow}, SingleStep: true})
+		if len(fast.seals) == 0 {
+			t.Fatalf("%s: no epoch seals on a multi-threaded run", label)
+		}
+		if want := expectedSeals(fast.evs); !reflect.DeepEqual(fast.seals, want) {
+			t.Fatalf("%s: fast-path seals %v, want %v (one per control transfer + final)",
+				label, fast.seals, want)
+		}
+		if !reflect.DeepEqual(fast.seals, slow.seals) {
+			t.Fatalf("%s: seal sequences diverge between modes:\nfast:        %v\nsingle-step: %v",
+				label, fast.seals, slow.seals)
+		}
+		if !reflect.DeepEqual(fast.evs, slow.evs) {
+			t.Fatalf("%s: event streams diverge", label)
+		}
+	}
+}
+
+// TestEpochSealCostAccounting: OnEpochSeal's returned cost lands in
+// Result.ExtraCost, identically in both modes.
+func TestEpochSealCostAccounting(t *testing.T) {
+	run := func(single bool) (*Result, *epochObserver) {
+		o := &epochObserver{sealCost: 7}
+		res := Run(batchWorkload(2, 4), Config{
+			Strategy: NewRandomMP(2, 0.1, 3), Observers: []Observer{o}, SingleStep: single})
+		return res, o
+	}
+	base := Run(batchWorkload(2, 4), Config{Strategy: NewRandomMP(2, 0.1, 3)})
+	fastRes, fastObs := run(false)
+	slowRes, slowObs := run(true)
+	wantExtra := base.ExtraCost + 7*uint64(len(fastObs.seals))
+	if fastRes.ExtraCost != wantExtra {
+		t.Fatalf("fast ExtraCost = %d, want %d (base %d + 7 x %d seals)",
+			fastRes.ExtraCost, wantExtra, base.ExtraCost, len(fastObs.seals))
+	}
+	if slowRes.ExtraCost != fastRes.ExtraCost || len(slowObs.seals) != len(fastObs.seals) {
+		t.Fatalf("modes disagree: fast %d cost/%d seals, single-step %d cost/%d seals",
+			fastRes.ExtraCost, len(fastObs.seals), slowRes.ExtraCost, len(slowObs.seals))
+	}
+}
+
+// TestRunStartAnnouncesGrantedThread: OnRunStart's tid names the thread
+// whose run is starting — the shard a per-thread recorder must reserve
+// in.
+func TestRunStartAnnouncesGrantedThread(t *testing.T) {
+	o := &epochObserver{}
+	Run(batchWorkload(2, 4), Config{Strategy: NewRandomMP(1, 0, 2), Observers: []Observer{o}})
+	if len(o.runTIDs) == 0 {
+		t.Fatal("no run announcements under a run-granting strategy")
+	}
+	// The announcement fires before the run's first commit, so the event
+	// committed right after it must carry the announced tid.
+	for ri, tid := range o.runTIDs {
+		at := o.runAt[ri]
+		if at >= len(o.evs) {
+			t.Fatalf("announcement %d (thread %d): run committed no events", ri, tid)
+		}
+		if o.evs[at].TID != tid {
+			t.Fatalf("announcement %d: announced thread %d, first committed event from thread %d",
+				ri, tid, o.evs[at].TID)
+		}
+	}
+}

@@ -56,15 +56,33 @@ type Observer interface {
 
 // RunObserver is an optional Observer extension for run batching: when
 // the scheduler grants a multi-step run, it announces the granted
-// length once, before the run's first commit, so an observer that
-// appends per event (a sketch recorder, an order capture) can reserve
-// capacity for the whole run instead of growing inside the commit
+// thread and length once, before the run's first commit, so an
+// observer that appends per event (a sketch recorder, an order
+// capture) can reserve capacity for the whole run — in a per-thread
+// shard, the tid says which — instead of growing inside the commit
 // loop. The length is an upper bound — a run may end early — and
 // budget-1 grants announce nothing, so implementing this interface
 // must not change what the observer records, only how it allocates.
 type RunObserver interface {
 	Observer
-	OnRunStart(n int)
+	OnRunStart(tid trace.TID, n int)
+}
+
+// EpochObserver is an optional Observer extension for per-thread log
+// recording: the scheduler calls OnEpochSeal(tid) at every epoch
+// boundary of thread tid — lazily, at the control transfer where a
+// *different* thread is granted (so consecutive same-thread grants
+// form one epoch and pay for one seal), plus once at end of execution
+// for the last-granted thread. Between two seals of a thread, only
+// that thread commits events, which is what makes concatenating
+// sealed per-thread chunks in seal order reproduce the global order
+// (see trace.ShardedSketch and INTERNALS.md, "Per-thread sketch logs
+// & epoch merge"). The return value is the modelled logical cost of
+// the synchronization the seal stands for; it is added to
+// Result.ExtraCost like OnEvent's.
+type EpochObserver interface {
+	Observer
+	OnEpochSeal(tid trace.TID) (extraCost uint64)
 }
 
 // Candidate describes one enabled parked thread offered to a Strategy.
@@ -246,6 +264,11 @@ type Scheduler struct {
 	ctxDone  <-chan struct{} // Config.Ctx's done channel, nil when unset
 	granter  RunGranter      // Strategy's optional run seam; nil in single-step mode
 	runObs   []RunObserver   // observers that pre-reserve per granted run
+	epochObs []EpochObserver // observers sealed at control transfers
+	// lastGrant is the thread the previous pick round granted: the
+	// owner of the currently open epoch. Sealed (for epochObs) when a
+	// different thread is granted, and finally at end of execution.
+	lastGrant *Thread
 
 	// Reused per-step machinery (fast path). The view, candidate
 	// buffer, committed event and effect context live for the whole
@@ -299,6 +322,14 @@ func Run(root func(*Thread), cfg Config) *Result {
 			}
 		}
 	}
+	// Epoch seals fire in both modes — the per-thread log must see the
+	// same seal points whether or not the fast path is on, so the two
+	// modes stay trace- and cost-equivalent.
+	for _, o := range cfg.Observers {
+		if eo, ok := o.(EpochObserver); ok {
+			s.epochObs = append(s.epochObs, eo)
+		}
+	}
 	s.ectx.s = s
 	s.ectx.Ev = &s.ev
 	if cfg.Metrics != nil {
@@ -316,6 +347,14 @@ func Run(root func(*Thread), cfg Config) *Result {
 	s.inflight = 1
 	go s.runThread(t0, root)
 	s.loop()
+	// Final epoch: the last-granted thread's open epoch ends with the
+	// execution (shutdown and failure paths included, so the sealed
+	// chunks always cover the whole committed stream).
+	if s.lastGrant != nil {
+		for _, o := range s.epochObs {
+			s.res.ExtraCost += o.OnEpochSeal(s.lastGrant.id)
+		}
+	}
 	s.res.Failure = s.failure
 	s.res.Steps = s.step
 	return &s.res
@@ -460,6 +499,16 @@ func (s *Scheduler) loop() {
 				budget = b
 			}
 		}
+		// Control transfer: the outgoing thread's epoch ends here, before
+		// the incoming thread commits anything. Same-thread re-grants
+		// keep the epoch open — that is the amortization per-thread logs
+		// buy (one seal per context switch, not per grant).
+		if s.lastGrant != nil && s.lastGrant != t {
+			for _, o := range s.epochObs {
+				s.res.ExtraCost += o.OnEpochSeal(s.lastGrant.id)
+			}
+		}
+		s.lastGrant = t
 		solo := len(view.Candidates) == 1 && !s.cfg.SingleStep
 		if s.cfg.SingleStep {
 			s.grantSingle(t)
@@ -612,7 +661,7 @@ func advanceBatch(t *Thread) bool {
 func (s *Scheduler) grantRun(t *Thread, budget int) {
 	if budget > 1 {
 		for _, o := range s.runObs {
-			o.OnRunStart(budget)
+			o.OnRunStart(t.id, budget)
 		}
 	}
 	s.effectsRan = false

@@ -1,0 +1,114 @@
+package sketch
+
+import "repro/internal/trace"
+
+// ShardRecorder is the per-thread-log production-run observer
+// (Options.PerThreadLog): each recorded thread appends to its own
+// trace.SketchShard without touching a global log, and the scheduler's
+// epoch seam (sched.EpochObserver) seals the open shard at every
+// control transfer, publishing its entries as the next chunk of the
+// global seal order. Log merges the chunks back into canonical global
+// order once, at encode time — the result is entry- and
+// byte-identical to what the global-log Recorder of the same
+// execution produces (pinned by TestPropPerThreadLogEquivalence), but
+// the modelled per-record cost drops from RecordCost to
+// LocalRecordCost, with EpochSealCost paid once per context switch.
+type ShardRecorder struct {
+	scheme  Scheme
+	sharded *trace.ShardedSketch
+	// byTID maps TID -> shard index + 1 (0 = no shard yet), dense so
+	// the per-event lookup is an index, not a map probe.
+	byTID     []int32
+	seals     uint64
+	highWater int
+	merged    *trace.SketchLog // memoized Log() result
+}
+
+// NewShardRecorder returns a per-thread recorder for one scheme.
+func NewShardRecorder(s Scheme) *ShardRecorder {
+	return &ShardRecorder{
+		scheme:  s,
+		sharded: &trace.ShardedSketch{Scheme: s.String()},
+	}
+}
+
+// Scheme returns the recorder's scheme.
+func (r *ShardRecorder) Scheme() Scheme { return r.scheme }
+
+// shardFor returns tid's shard index, creating the shard on first use.
+func (r *ShardRecorder) shardFor(tid trace.TID) int {
+	for int(tid) >= len(r.byTID) {
+		r.byTID = append(r.byTID, 0)
+	}
+	if i := r.byTID[tid]; i != 0 {
+		return int(i - 1)
+	}
+	i, _ := r.sharded.NewShard(tid)
+	r.byTID[tid] = int32(i + 1)
+	return i
+}
+
+// OnEvent implements sched.Observer: sketch-relevant events append to
+// the committing thread's own shard; the charged cost is the local
+// append, with no global-sequence claim.
+func (r *ShardRecorder) OnEvent(ev trace.Event) uint64 {
+	r.sharded.TotalOps++
+	w := r.scheme.Weight(ev)
+	if w == 0 {
+		return FilterCost
+	}
+	r.sharded.Shards[r.shardFor(ev.TID)].Append(ev)
+	r.sharded.Records += w
+	return FilterCost + LocalRecordCost*w
+}
+
+// OnRunStart implements sched.RunObserver: reserve the granted run's
+// worst case in the granted thread's shard, so the per-commit Append
+// never reallocates mid-run.
+func (r *ShardRecorder) OnRunStart(tid trace.TID, n int) {
+	r.sharded.Shards[r.shardFor(tid)].Reserve(n)
+}
+
+// OnEpochSeal implements sched.EpochObserver: publish tid's unsealed
+// entries as the next chunk of the global seal order. A seal that
+// publishes nothing (the thread recorded nothing this epoch — common
+// under sparse schemes) is free: no chunk, no modelled cost.
+func (r *ShardRecorder) OnEpochSeal(tid trace.TID) uint64 {
+	if int(tid) >= len(r.byTID) || r.byTID[tid] == 0 {
+		return 0 // thread never recorded anything
+	}
+	i := int(r.byTID[tid] - 1)
+	n := r.sharded.Seal(i)
+	if n == 0 {
+		return 0
+	}
+	r.seals++
+	if n > r.highWater {
+		r.highWater = n
+	}
+	return EpochSealCost
+}
+
+// Seals returns the number of non-empty epoch seals performed.
+func (r *ShardRecorder) Seals() uint64 { return r.seals }
+
+// Shards returns the number of per-thread shards created (threads that
+// recorded at least one entry).
+func (r *ShardRecorder) Shards() int { return len(r.sharded.Shards) }
+
+// HighWater returns the largest number of entries any single seal
+// published — the high-water mark of a thread-local buffer's unsealed
+// suffix, i.e. how much memory the epoch discipline lets accumulate
+// outside the global order.
+func (r *ShardRecorder) HighWater() int { return r.highWater }
+
+// Log merges the sealed chunks into the canonical globally ordered
+// sketch log (merge-on-encode; see DESIGN.md). The merge is performed
+// once and memoized — callers after the run may ask repeatedly
+// (encode, size accounting, replay seeding) and share one log.
+func (r *ShardRecorder) Log() *trace.SketchLog {
+	if r.merged == nil {
+		r.merged = r.sharded.Merge()
+	}
+	return r.merged
+}

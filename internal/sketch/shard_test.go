@@ -1,0 +1,139 @@
+package sketch
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// sealTransfers feeds a globally ordered event stream to r, sealing at
+// every TID change and once at the end — the scheduler's epoch
+// discipline, reproduced inline.
+func sealTransfers(r *ShardRecorder, evs []trace.Event) (cost uint64) {
+	last := trace.NoTID
+	for _, ev := range evs {
+		if last != trace.NoTID && last != ev.TID {
+			cost += r.OnEpochSeal(last)
+		}
+		cost += r.OnEvent(ev)
+		last = ev.TID
+	}
+	if last != trace.NoTID {
+		cost += r.OnEpochSeal(last)
+	}
+	return cost
+}
+
+func interleavedEvents() []trace.Event {
+	return []trace.Event{
+		{TID: 0, Kind: trace.KindLock, Obj: 1},
+		{TID: 0, Kind: trace.KindLoad, Obj: 9}, // not recorded by SYNC
+		{TID: 0, Kind: trace.KindUnlock, Obj: 1},
+		{TID: 1, Kind: trace.KindLock, Obj: 1},
+		{TID: 1, Kind: trace.KindUnlock, Obj: 1},
+		{TID: 0, Kind: trace.KindLock, Obj: 2},
+		{TID: 2, Kind: trace.KindBB, Obj: 7}, // not recorded by SYNC
+		{TID: 0, Kind: trace.KindUnlock, Obj: 2},
+		{TID: 0, Kind: trace.KindJoin, Obj: 1},
+	}
+}
+
+// TestShardRecorderMatchesGlobalRecorder: under the epoch discipline,
+// the per-thread recorder's merged log is entry- and byte-identical to
+// the global recorder's, and its bookkeeping (TotalOps, Records)
+// matches.
+func TestShardRecorderMatchesGlobalRecorder(t *testing.T) {
+	evs := interleavedEvents()
+	global := NewRecorder(SYNC)
+	for _, ev := range evs {
+		global.OnEvent(ev)
+	}
+	shard := NewShardRecorder(SYNC)
+	sealTransfers(shard, evs)
+	g, m := global.Log(), shard.Log()
+	if g.Scheme != m.Scheme || g.TotalOps != m.TotalOps || g.Records != m.Records {
+		t.Fatalf("bookkeeping differs: global %q/%d/%d, merged %q/%d/%d",
+			g.Scheme, g.TotalOps, g.Records, m.Scheme, m.TotalOps, m.Records)
+	}
+	if !slices.Equal(g.Entries, m.Entries) {
+		t.Fatalf("entries differ:\nglobal: %v\nmerged: %v", g.Entries, m.Entries)
+	}
+	var gb, mb bytes.Buffer
+	if err := trace.EncodeSketch(&gb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeSketch(&mb, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.Bytes(), mb.Bytes()) {
+		t.Fatal("encoded bytes differ between global and merged logs")
+	}
+	if shard.Log() != m {
+		t.Fatal("Log() not memoized")
+	}
+}
+
+// TestShardRecorderSealAccounting: seals that publish nothing (the
+// thread recorded nothing this epoch, or never recorded at all) are
+// free and uncounted; non-empty seals cost EpochSealCost each and feed
+// Seals()/HighWater().
+func TestShardRecorderSealAccounting(t *testing.T) {
+	r := NewShardRecorder(SYNC)
+	if got := r.OnEpochSeal(5); got != 0 {
+		t.Fatalf("seal of never-seen thread cost %d", got)
+	}
+	r.OnEvent(trace.Event{TID: 1, Kind: trace.KindLoad, Obj: 9}) // filtered out
+	if got := r.OnEpochSeal(1); got != 0 || r.Seals() != 0 {
+		t.Fatalf("empty-epoch seal cost %d, seals %d; want free and uncounted", got, r.Seals())
+	}
+	r.OnEvent(trace.Event{TID: 1, Kind: trace.KindLock, Obj: 1})
+	r.OnEvent(trace.Event{TID: 1, Kind: trace.KindUnlock, Obj: 1})
+	if got := r.OnEpochSeal(1); got != EpochSealCost {
+		t.Fatalf("seal cost %d, want %d", got, EpochSealCost)
+	}
+	r.OnEvent(trace.Event{TID: 1, Kind: trace.KindLock, Obj: 2})
+	r.OnEpochSeal(1)
+	if r.Seals() != 2 || r.HighWater() != 2 || r.Shards() != 1 {
+		t.Fatalf("seals=%d highwater=%d shards=%d, want 2/2/1", r.Seals(), r.HighWater(), r.Shards())
+	}
+}
+
+// TestShardRecorderEventCosts: recorded events charge the local append
+// cost, filtered events only the dispatch — and the per-record gap
+// versus the global recorder is RecordCost-LocalRecordCost.
+func TestShardRecorderEventCosts(t *testing.T) {
+	r := NewShardRecorder(SYNC)
+	if got := r.OnEvent(trace.Event{TID: 0, Kind: trace.KindLoad}); got != FilterCost {
+		t.Fatalf("filtered event cost %d, want %d", got, FilterCost)
+	}
+	if got := r.OnEvent(trace.Event{TID: 0, Kind: trace.KindLock, Obj: 1}); got != FilterCost+LocalRecordCost {
+		t.Fatalf("recorded event cost %d, want %d", got, FilterCost+LocalRecordCost)
+	}
+	if LocalRecordCost >= RecordCost {
+		t.Fatalf("LocalRecordCost (%d) must undercut RecordCost (%d)", LocalRecordCost, RecordCost)
+	}
+}
+
+// TestShardAppendAllocFree is the per-thread append allocation gate:
+// once a run's reservation is in place (OnRunStart), every OnEvent of
+// the run — filter, weight, shard lookup, append — is 0 allocs/op,
+// matching the claim that the thread-local fast path never touches
+// the allocator.
+func TestShardAppendAllocFree(t *testing.T) {
+	r := NewShardRecorder(RW)
+	// First touch creates the shard and byTID table outside the
+	// measured window, as OnRunStart does at the start of a run.
+	r.OnRunStart(3, 4096)
+	ev := trace.Event{TID: 3, Kind: trace.KindStore, Obj: 42}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev.Obj = uint64(i)
+		i++
+		r.OnEvent(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("thread-local append allocated %.2f objects/op; want 0", allocs)
+	}
+}

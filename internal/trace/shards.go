@@ -1,0 +1,149 @@
+package trace
+
+// Per-thread sketch logs. A ShardedSketch is the in-memory form a
+// per-thread-log recorder accumulates during a production run: one
+// append-only SketchShard per recording thread, plus a global list of
+// SealedChunks — contiguous shard ranges published at epoch seal
+// points, in seal order. The on-disk form is unchanged: Merge
+// interleaves the chunks back into the canonical global order and the
+// result encodes through the ordinary v2 sketch codec, byte-identical
+// to what a global-log recorder of the same execution would have
+// written (pinned by FuzzShardMergeRoundTrip and the core equivalence
+// property test).
+//
+// The contract between the writer (the recorder), the sealer (the
+// scheduler's epoch seam) and the reader (Merge) is:
+//
+//  1. A thread appends only to its own shard, never to another's, and
+//     never reorders or removes entries (shards are append-only).
+//  2. An epoch seal publishes the shard's unsealed suffix as one chunk
+//     and claims the next global seal sequence number — the chunk's
+//     position in Chunks. Seals of an execution are totally ordered.
+//  3. Canonical-order soundness: when a chunk is sealed, every entry of
+//     every *earlier* global position has already been sealed. The
+//     scheduler guarantees this by sealing the outgoing thread at every
+//     control transfer, before the incoming thread commits anything —
+//     so at any instant at most one shard holds unsealed entries, and
+//     concatenating chunks in seal order reproduces the global order.
+//
+// See INTERNALS.md, "Per-thread sketch logs & epoch merge".
+
+// SketchShard is one thread's local sketch buffer: the subsequence of
+// the global sketch order performed by that thread, in program order.
+type SketchShard struct {
+	TID     TID
+	Entries []SketchEntry
+	// sealed counts the leading entries already published as chunks;
+	// Entries[sealed:] is the open (unsealed) suffix of the current
+	// epoch.
+	sealed int
+}
+
+// Append records one sketch point in the thread-local buffer.
+func (sh *SketchShard) Append(ev Event) {
+	sh.Entries = append(sh.Entries, EntryOf(ev))
+}
+
+// Reserve grows the shard for n upcoming appends (the run-grant
+// batching hook), with the same never-below-doubling growth as
+// SketchLog.Reserve so interleaved Reserve/Append stays amortized.
+func (sh *SketchShard) Reserve(n int) {
+	need := len(sh.Entries) + n
+	if n <= 0 || cap(sh.Entries) >= need {
+		return
+	}
+	newCap := 2 * cap(sh.Entries)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]SketchEntry, len(sh.Entries), newCap)
+	copy(grown, sh.Entries)
+	sh.Entries = grown
+}
+
+// Unsealed returns the number of entries of the open epoch — appends
+// not yet published by a seal.
+func (sh *SketchShard) Unsealed() int { return len(sh.Entries) - sh.sealed }
+
+// SealedChunk is one published epoch: the half-open entry range
+// [Start, End) of shard index Shard. A chunk's position in
+// ShardedSketch.Chunks is its global seal sequence number.
+type SealedChunk struct {
+	Shard      int
+	Start, End int
+}
+
+// ShardedSketch is the per-thread in-memory sketch representation (see
+// the package-level contract above).
+type ShardedSketch struct {
+	Scheme string
+	Shards []*SketchShard // creation order; one per recording thread
+	Chunks []SealedChunk  // seal order == canonical global order
+	// TotalOps and Records mirror SketchLog's bookkeeping.
+	TotalOps uint64
+	Records  uint64
+}
+
+// NewShard creates the local buffer for one thread and returns its
+// shard index.
+func (s *ShardedSketch) NewShard(tid TID) (int, *SketchShard) {
+	sh := &SketchShard{TID: tid}
+	s.Shards = append(s.Shards, sh)
+	return len(s.Shards) - 1, sh
+}
+
+// Seal publishes shard i's unsealed suffix as the next chunk and
+// returns the number of entries it covered; an empty suffix publishes
+// nothing and returns 0 (an idle thread's epoch costs nothing).
+func (s *ShardedSketch) Seal(i int) int {
+	sh := s.Shards[i]
+	n := sh.Unsealed()
+	if n == 0 {
+		return 0
+	}
+	s.Chunks = append(s.Chunks, SealedChunk{Shard: i, Start: sh.sealed, End: len(sh.Entries)})
+	sh.sealed = len(sh.Entries)
+	return n
+}
+
+// SealAll publishes every shard's remaining open suffix — the final
+// epochs at end of execution. By contract rule 3 at most one shard can
+// hold unsealed entries here, so the publication order is immaterial.
+func (s *ShardedSketch) SealAll() {
+	for i := range s.Shards {
+		s.Seal(i)
+	}
+}
+
+// Len returns the total number of entries across all shards, sealed or
+// not.
+func (s *ShardedSketch) Len() int {
+	n := 0
+	for _, sh := range s.Shards {
+		n += len(sh.Entries)
+	}
+	return n
+}
+
+// Merge seals every open suffix and interleaves the chunks, in seal
+// order, into one globally ordered SketchLog — the canonical-order
+// merge performed once at encode time. The result is entry-for-entry
+// (and therefore, through EncodeSketch, byte-for-byte) what a
+// global-log recorder of the same execution would hold.
+func (s *ShardedSketch) Merge() *SketchLog {
+	s.SealAll()
+	total := 0
+	for _, c := range s.Chunks {
+		total += c.End - c.Start
+	}
+	l := &SketchLog{
+		Scheme:   s.Scheme,
+		TotalOps: s.TotalOps,
+		Records:  s.Records,
+		Entries:  make([]SketchEntry, 0, total),
+	}
+	for _, c := range s.Chunks {
+		l.Entries = append(l.Entries, s.Shards[c.Shard].Entries[c.Start:c.End]...)
+	}
+	return l
+}

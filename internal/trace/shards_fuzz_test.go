@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// FuzzShardMergeRoundTrip is the merge correctness fuzzer: arbitrary
+// bytes are interpreted as a globally ordered entry stream with
+// arbitrary extra seal points (4 bytes per entry: tid, kind selector,
+// object selector, seal bit), partitioned into per-thread shards under
+// the scheduler's control-transfer seal discipline, and the merged
+// result must match the reference global log entry-for-entry AND
+// encode to the exact same v2 bytes as the reference encoder. Seeds
+// include the raw testdata fixture files plus a descriptor stream
+// derived from the decoded v2 fixture, so the corpus starts from real
+// recorded shapes.
+func FuzzShardMergeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 0})
+	f.Add([]byte{0, 1, 0, 0, 0, 2, 0, 1, 3, 3, 200, 0, 3, 4, 200, 1, 0, 1, 9, 0})
+	f.Add(bytes.Repeat([]byte{5, 7, 11, 0, 5, 7, 12, 1, 6, 2, 11, 0}, 30))
+	// Raw fixture bytes: meaningless as descriptors but real entropy.
+	for _, name := range []string{"sketch_v1.bin", "sketch_v2.bin"} {
+		if b, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(b)
+		}
+	}
+	// A descriptor stream reconstructing the v2 fixture's actual
+	// TID/kind sequence (objects mapped through the selector table).
+	if b, err := os.ReadFile(filepath.Join("testdata", "sketch_v2.bin")); err == nil {
+		if l, err := DecodeSketch(bytes.NewReader(b)); err == nil {
+			var desc []byte
+			for i, e := range l.Entries {
+				desc = append(desc, byte(e.TID)&15, byte(e.Kind-1), byte(e.Obj), byte(i&1))
+			}
+			f.Add(desc)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objs := [8]uint64{0, 1, 0x40, 0x48, 1 << 16, 1<<16 + 8, 1 << 50, ^uint64(0)}
+		ref := &SketchLog{Scheme: "FUZZ", TotalOps: uint64(len(data)), Records: uint64(len(data) / 4)}
+		s := &ShardedSketch{Scheme: ref.Scheme, TotalOps: ref.TotalOps, Records: ref.Records}
+		byTID := map[TID]int{}
+		last := NoTID
+		for i := 0; i+3 < len(data); i += 4 {
+			ev := Event{
+				TID:  TID(data[i] & 15),
+				Kind: Kind(1 + data[i+1]%byte(numKinds-1)),
+				Obj:  objs[data[i+2]&7] + uint64(data[i+2]>>3),
+			}
+			ref.Append(ev)
+			// Control-transfer seal: the scheduler seals the outgoing
+			// thread before the incoming thread commits anything.
+			if last != NoTID && last != ev.TID {
+				s.Seal(byTID[last])
+			}
+			idx, ok := byTID[ev.TID]
+			if !ok {
+				idx, _ = s.NewShard(ev.TID)
+				byTID[ev.TID] = idx
+			}
+			s.Shards[idx].Append(ev)
+			last = ev.TID
+			// Fuzzer-chosen extra epoch boundary mid-run.
+			if data[i+3]&1 == 1 {
+				s.Seal(idx)
+			}
+		}
+		merged := s.Merge()
+		if merged.Scheme != ref.Scheme || merged.TotalOps != ref.TotalOps || merged.Records != ref.Records {
+			t.Fatalf("merged bookkeeping %q/%d/%d, want %q/%d/%d",
+				merged.Scheme, merged.TotalOps, merged.Records, ref.Scheme, ref.TotalOps, ref.Records)
+		}
+		if !slices.Equal(merged.Entries, ref.Entries) {
+			t.Fatalf("merge order mismatch: %d entries vs %d", merged.Len(), ref.Len())
+		}
+		var mb, rb bytes.Buffer
+		if err := EncodeSketch(&mb, merged); err != nil {
+			t.Fatalf("encode merged: %v", err)
+		}
+		if err := EncodeSketch(&rb, ref); err != nil {
+			t.Fatalf("encode reference: %v", err)
+		}
+		if !bytes.Equal(mb.Bytes(), rb.Bytes()) {
+			t.Fatalf("merged v2 bytes differ from reference (%d vs %d bytes)", mb.Len(), rb.Len())
+		}
+	})
+}

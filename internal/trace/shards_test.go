@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildSharded partitions a globally ordered entry stream into a
+// ShardedSketch exactly the way the record path does: each entry is
+// appended to its thread's shard, the outgoing thread is sealed at
+// every TID change (the scheduler's control-transfer seal), and
+// extraSeal(i) may force an extra seal after entry i (consecutive runs
+// of the same thread split into separate epochs).
+func buildSharded(l *SketchLog, extraSeal func(i int) bool) *ShardedSketch {
+	s := &ShardedSketch{Scheme: l.Scheme, TotalOps: l.TotalOps, Records: l.Records}
+	byTID := map[TID]int{}
+	last := NoTID
+	for i, e := range l.Entries {
+		if last != NoTID && last != e.TID {
+			s.Seal(byTID[last])
+		}
+		idx, ok := byTID[e.TID]
+		if !ok {
+			idx, _ = s.NewShard(e.TID)
+			byTID[e.TID] = idx
+		}
+		s.Shards[idx].Append(Event{TID: e.TID, Kind: e.Kind, Obj: e.Obj})
+		last = e.TID
+		if extraSeal != nil && extraSeal(i) {
+			s.Seal(idx)
+		}
+	}
+	return s
+}
+
+func sampleSketchLog() *SketchLog {
+	l := &SketchLog{Scheme: "SYNC", TotalOps: 120, Records: 9}
+	for _, e := range []SketchEntry{
+		{TID: 0, Kind: KindThreadStart, Obj: 0},
+		{TID: 0, Kind: KindSpawn, Obj: 0},
+		{TID: 1, Kind: KindThreadStart, Obj: 0},
+		{TID: 1, Kind: KindLock, Obj: 0xAA},
+		{TID: 1, Kind: KindUnlock, Obj: 0xAA},
+		{TID: 0, Kind: KindLock, Obj: 0xAA},
+		{TID: 2, Kind: KindThreadStart, Obj: 0},
+		{TID: 0, Kind: KindUnlock, Obj: 0xAA},
+		{TID: 0, Kind: KindJoin, Obj: 1},
+	} {
+		l.Entries = append(l.Entries, e)
+	}
+	return l
+}
+
+// TestShardMergeCanonicalOrder: partitioning a global log into
+// per-thread shards with control-transfer seals and merging must
+// reproduce the global log exactly — entries, bookkeeping, and encoded
+// v2 bytes.
+func TestShardMergeCanonicalOrder(t *testing.T) {
+	ref := sampleSketchLog()
+	s := buildSharded(ref, nil)
+	merged := s.Merge()
+	if merged.Scheme != ref.Scheme || merged.TotalOps != ref.TotalOps || merged.Records != ref.Records {
+		t.Fatalf("merged bookkeeping %q/%d/%d, want %q/%d/%d",
+			merged.Scheme, merged.TotalOps, merged.Records, ref.Scheme, ref.TotalOps, ref.Records)
+	}
+	if len(merged.Entries) != len(ref.Entries) {
+		t.Fatalf("merged %d entries, want %d", len(merged.Entries), len(ref.Entries))
+	}
+	for i := range ref.Entries {
+		if merged.Entries[i] != ref.Entries[i] {
+			t.Fatalf("entry %d = %v, want %v", i, merged.Entries[i], ref.Entries[i])
+		}
+	}
+	var mb, rb bytes.Buffer
+	if err := EncodeSketch(&mb, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSketch(&rb, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb.Bytes(), rb.Bytes()) {
+		t.Fatalf("merged encoding differs from reference (%d vs %d bytes)", mb.Len(), rb.Len())
+	}
+}
+
+// TestShardMergeExtraSeals: additional seals inside a same-thread run
+// (an epoch boundary without a context switch) split chunks but cannot
+// change the merged order — the v2 encoder re-fuses adjacent same-TID
+// chunks into one run, so even the bytes stay identical.
+func TestShardMergeExtraSeals(t *testing.T) {
+	ref := sampleSketchLog()
+	s := buildSharded(ref, func(i int) bool { return i%2 == 0 })
+	if len(s.Chunks) <= 4 {
+		t.Fatalf("extra seals produced only %d chunks", len(s.Chunks))
+	}
+	merged := s.Merge()
+	var mb, rb bytes.Buffer
+	if err := EncodeSketch(&mb, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSketch(&rb, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb.Bytes(), rb.Bytes()) {
+		t.Fatal("extra seal points changed the encoded bytes")
+	}
+}
+
+// TestShardSealSemantics: sealing an empty suffix publishes nothing,
+// repeated seals are idempotent, and Merge's implicit SealAll flushes
+// the final open epoch.
+func TestShardSealSemantics(t *testing.T) {
+	s := &ShardedSketch{Scheme: "SYNC"}
+	i, sh := s.NewShard(3)
+	if got := s.Seal(i); got != 0 {
+		t.Fatalf("sealing an empty shard published %d entries", got)
+	}
+	if len(s.Chunks) != 0 {
+		t.Fatalf("empty seal appended a chunk: %v", s.Chunks)
+	}
+	sh.Append(Event{TID: 3, Kind: KindLock, Obj: 1})
+	sh.Append(Event{TID: 3, Kind: KindUnlock, Obj: 1})
+	if got := s.Seal(i); got != 2 {
+		t.Fatalf("seal published %d entries, want 2", got)
+	}
+	if got := s.Seal(i); got != 0 {
+		t.Fatalf("re-seal published %d entries, want 0", got)
+	}
+	sh.Append(Event{TID: 3, Kind: KindLock, Obj: 2})
+	if sh.Unsealed() != 1 {
+		t.Fatalf("unsealed = %d, want 1", sh.Unsealed())
+	}
+	merged := s.Merge() // implicit SealAll
+	if len(merged.Entries) != 3 || sh.Unsealed() != 0 {
+		t.Fatalf("merge flushed %d entries (unsealed %d), want 3 (0)", len(merged.Entries), sh.Unsealed())
+	}
+}
+
+// TestShardReserve: Reserve guarantees capacity for a declared run and
+// never shrinks, mirroring SketchLog.Reserve's growth discipline.
+func TestShardReserve(t *testing.T) {
+	sh := &SketchShard{TID: 1}
+	sh.Reserve(8)
+	if cap(sh.Entries) < 8 {
+		t.Fatalf("cap = %d after Reserve(8)", cap(sh.Entries))
+	}
+	for i := 0; i < 8; i++ {
+		sh.Append(Event{TID: 1, Kind: KindBB, Obj: uint64(i)})
+	}
+	c := cap(sh.Entries)
+	sh.Reserve(0)
+	sh.Reserve(-3)
+	if cap(sh.Entries) != c || len(sh.Entries) != 8 {
+		t.Fatal("no-op Reserve changed the shard")
+	}
+}
