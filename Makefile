@@ -4,15 +4,17 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test bench stress fuzz-short docs-drift
+.PHONY: check build vet lint test bench stress scenarios fuzz-short docs-drift
 
 ## check: the full gate — build everything, lint (gofmt + vet), verify
 ## the metric docs are in sync, test under -race (including the
 ## fast-path and per-thread-log equivalence properties in
-## internal/sched and internal/core), stress the search engine, and
-## give every fuzz target a short budget (which includes the
-## per-thread merge fuzzer FuzzShardMergeRoundTrip).
-check: build lint docs-drift stress fuzz-short
+## internal/sched and internal/core), stress the search engine, run
+## the failure-injection matrix and generator sweep, and give every
+## fuzz target a short budget (which includes the per-thread merge
+## fuzzer FuzzShardMergeRoundTrip and the scenario-generator
+## round-tripper FuzzScenarioGen).
+check: build lint docs-drift stress scenarios fuzz-short
 	$(GO) test -race ./...
 
 build:
@@ -42,13 +44,26 @@ stress:
 	$(GO) test -race -count=2 -run 'TestPool|TestJobs|TestMetricsDeterministic' ./internal/harness/...
 	$(GO) test -race -count=2 -run 'TestProp|TestRunCancellation' ./internal/sched/...
 
-## fuzz-short: run every native fuzz target in internal/trace for
-## FUZZTIME each (the canonical-key collision-freedom targets plus the
-## decoder robustness targets), seeded from testdata/fuzz corpora.
+## scenarios: the failure-injection matrix (every app x failure class
+## driven to its declared outcome and replayed to reproduction) plus a
+## 100-seed generated-program sweep (buggy variants manifest and
+## reproduce, patched variants stay clean). The in-test sweep slice and
+## the exhaustive ground-truth prover run under go test; the wide sweep
+## goes through the presgen CLI.
+scenarios:
+	$(GO) test -run 'TestMatrix|TestGen|TestInject' ./internal/scenario ./internal/sched
+	$(GO) run ./cmd/presgen -sweep 100
+
+## fuzz-short: run every native fuzz target in internal/trace and
+## internal/scenario for FUZZTIME each (the canonical-key
+## collision-freedom targets, the decoder robustness targets, and the
+## generator round-tripper), seeded from testdata/fuzz corpora.
 fuzz-short:
-	@set -e; for t in $$($(GO) test -list 'Fuzz.*' ./internal/trace | grep '^Fuzz'); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run NONE -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/trace; \
+	@set -e; for pkg in ./internal/trace ./internal/scenario; do \
+		for t in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$t ($(FUZZTIME)) [$$pkg]"; \
+			$(GO) test -run NONE -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
 	done
 
 ## bench: substrate micro-benchmarks, including the observability

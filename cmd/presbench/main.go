@@ -1,5 +1,5 @@
 // Presbench regenerates every table and figure of the paper's
-// evaluation (experiments E1-E11 in DESIGN.md; paper-vs-measured is
+// evaluation (experiments E1-E12 in DESIGN.md; paper-vs-measured is
 // recorded in EXPERIMENTS.md).
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	presbench -exp e1         # one experiment
 //	presbench -exp e1 -schemes SYNC,SYS -procs 8
 //	presbench -j 1            # sequential cells (same tables, slower)
+//	presbench -scenarios      # only the failure-injection matrix + generator sweep (E12)
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presbench: ")
 
-	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
 	schemeList := flag.String("schemes", "", "comma-separated scheme subset (default: all)")
 	procs := flag.Int("procs", 4, "modelled processor count")
 	budget := flag.Int("max-attempts", 1000, "replay attempt budget")
@@ -48,7 +49,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write an aggregate metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of every replay attempt across all experiments")
+	scenarios := flag.Bool("scenarios", false, "run only the failure-injection scenarios (shorthand for -exp e12)")
+	genSweep := flag.Int("gen-sweep", 50, "generated-program seeds verified by E12's generator sweep")
 	flag.Parse()
+
+	if *scenarios {
+		*exp = "e12"
+	}
 
 	if *metricsFormat != "json" && *metricsFormat != "prom" && *metricsFormat != "prometheus" {
 		log.Fatalf("unknown -metrics-format %q (want json or prom)", *metricsFormat)
@@ -206,6 +213,16 @@ func main() {
 			harness.PrintE11(os.Stdout, rows, cfg)
 		}
 		return rows
+	})
+	run("e12", "failure-injection matrix and generated-program sweep (extension)", func() any {
+		rows := harness.RunE12(cfg)
+		gen := harness.RunE12Gen(*genSweep, cfg)
+		if !*asJSON {
+			harness.PrintE12(os.Stdout, rows)
+			fmt.Println()
+			harness.PrintE12Gen(os.Stdout, gen)
+		}
+		return map[string]any{"matrix": rows, "gen": gen}
 	})
 
 	interrupted := ctx.Err() != nil

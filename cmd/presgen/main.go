@@ -1,0 +1,99 @@
+// Presgen drives the property-based scenario generator from the
+// command line: emit a generated program's pseudo-source, verify its
+// record/replay ground truth, sweep a seed range, and minimize a
+// failing seed into a readable repro.
+//
+// Usage:
+//
+//	presgen -seed 7            # generate seed 7, verify, print the verdict
+//	presgen -seed 7 -emit      # print the generated pseudo-source only
+//	presgen -sweep 100         # verify seeds 0..99; exit 1 if any fails
+//	presgen -seed 7 -minimize  # shrink a failing seed, print the minimal source
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("presgen: ")
+
+	seed := flag.Uint64("seed", 0, "generator seed")
+	emit := flag.Bool("emit", false, "print the generated program's pseudo-source and exit")
+	sweep := flag.Int("sweep", 0, "verify seeds 0..N-1 instead of a single seed (0 = off)")
+	minimize := flag.Bool("minimize", false, "on verification failure, shrink the program and print the minimal failing source")
+	seedBudget := flag.Int("seed-budget", 0, "production seeds searched per buggy variant (0 = scenario default)")
+	maxAttempts := flag.Int("max-attempts", 0, "replay attempt budget (0 = scenario default)")
+	procs := flag.Int("procs", 0, "modelled processor count (0 = scenario default)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none); SIGINT also cancels")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
+	cfg := scenario.Config{
+		Ctx:         ctx,
+		Processors:  *procs,
+		SeedBudget:  *seedBudget,
+		MaxAttempts: *maxAttempts,
+	}
+
+	if *sweep > 0 {
+		failed := 0
+		for s := uint64(0); s < uint64(*sweep); s++ {
+			if ctx.Err() != nil {
+				log.Fatalf("cancelled after %d seeds: %v", s, ctx.Err())
+			}
+			g := scenario.Generate(s)
+			res := scenario.Verify(g, cfg)
+			if res.OK() {
+				fmt.Printf("seed %d %s %s: ok (procs=%d manifest-seed=%d attempts=%d)\n",
+					s, g.Template, g.ID(), res.Procs, res.ManifestSeed, res.Attempts)
+				continue
+			}
+			failed++
+			fmt.Printf("seed %d %s %s: FAIL: %v\n", s, g.Template, g.ID(), res.Err)
+			if *minimize {
+				fmt.Print(scenario.Minimize(g, cfg).Source())
+			}
+		}
+		fmt.Printf("%d/%d seeds verified\n", *sweep-failed, *sweep)
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	g := scenario.Generate(*seed)
+	if *emit {
+		fmt.Print(g.Source())
+		return
+	}
+	res := scenario.Verify(g, cfg)
+	fmt.Printf("seed %d template %s id %s\n", g.Seed, g.Template, g.ID())
+	if res.OK() {
+		fmt.Printf("ok: %s manifested (procs=%d manifest-seed=%d), reproduced in %d attempts, fixed variant clean\n",
+			g.BugID, res.Procs, res.ManifestSeed, res.Attempts)
+		return
+	}
+	fmt.Printf("FAIL: %v\n", res.Err)
+	if *minimize {
+		fmt.Println("minimal failing program:")
+		fmt.Print(scenario.Minimize(g, cfg).Source())
+	}
+	os.Exit(1)
+}

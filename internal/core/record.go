@@ -59,6 +59,15 @@ type Options struct {
 	// sketch.LocalRecordCost/EpochSealCost). The global log remains the
 	// default and the reference path.
 	PerThreadLog bool
+	// Inject, when non-nil, returns a fresh failure-injection hook for
+	// each execution (internal/scenario's failure classes are such
+	// factories). The factory shape matters: injectors keep per-thread
+	// counters, and Options outlives a single run — the recording run,
+	// every replay attempt, and order reproduction each materialize
+	// their own hook so injection decisions repeat identically. Nil —
+	// the default — leaves every fault site on its unconditional fast
+	// path (see TestInjectDisabledAllocFree).
+	Inject func() sched.InjectFn
 	// Metrics, when non-nil, receives recording metrics (sketch entries
 	// written, log bytes, modelled overhead — see OBSERVABILITY.md) and
 	// the substrate's scheduler counters. Nil, the default, keeps the
@@ -194,8 +203,15 @@ func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
 func execute(prog *appkit.Program, opts Options, cfg sched.Config, world *vsys.World) *sched.Result {
 	cfg.SingleStep = opts.SingleStep
 	cfg.NoBatch = opts.NoBatch
+	var inj sched.InjectFn
+	if opts.Inject != nil {
+		// One fresh hook per execution: per-thread injector state never
+		// leaks across replay attempts.
+		inj = opts.Inject()
+	}
+	cfg.Inject = inj
 	return sched.Run(func(t *sched.Thread) {
-		prog.Run(&appkit.Env{T: t, W: world, Scale: opts.Scale, Procs: opts.processors(), FixBugs: opts.FixBugs})
+		prog.Run(&appkit.Env{T: t, W: world, Scale: opts.Scale, Procs: opts.processors(), FixBugs: opts.FixBugs, Inject: inj})
 	}, cfg)
 }
 

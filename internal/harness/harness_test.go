@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/patterns"
 	"repro/internal/sketch"
 )
 
@@ -324,8 +325,8 @@ func TestRunE6NotReproducedPath(t *testing.T) {
 
 func TestRunE10Patterns(t *testing.T) {
 	rows := RunE10([]sketch.Scheme{sketch.SYNC}, fastCfg)
-	if len(rows) != 8 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != len(patterns.All()) {
+		t.Fatalf("rows = %d, want one per catalog pattern", len(rows))
 	}
 	for _, r := range rows {
 		if r.Err != nil {

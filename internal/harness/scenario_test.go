@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestRunE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run")
+	}
+	rows := RunE12(fastCfg)
+	if len(rows) != len(scenario.Matrix()) {
+		t.Fatalf("rows = %d, want one per matrix cell", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s/%s: %v", r.App, r.Class, r.Err)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE12(&buf, rows)
+	for _, needle := range []string{"lock-wedge", "clean", "deadlock/"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Fatalf("E12 rendering broken: missing %q in\n%s", needle, buf.String())
+		}
+	}
+}
+
+func TestRunE12Gen(t *testing.T) {
+	rows := RunE12Gen(6, fastCfg)
+	if len(rows) != len(scenario.Templates()) {
+		t.Fatalf("rows = %d, want one per template", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Programs
+		if r.Programs != r.Reproduced {
+			t.Errorf("template %s: %d/%d reproduced (failing seeds %v)",
+				r.Template, r.Reproduced, r.Programs, r.FailSeeds)
+		}
+	}
+	if total != 6 {
+		t.Fatalf("aggregated %d programs, want 6", total)
+	}
+	var buf bytes.Buffer
+	PrintE12Gen(&buf, rows)
+	if !strings.Contains(buf.String(), "lostload") {
+		t.Fatal("E12 gen rendering broken")
+	}
+}

@@ -121,7 +121,7 @@ func TestCatalogReplays(t *testing.T) {
 }
 
 func TestCatalogLookup(t *testing.T) {
-	if len(All()) != 8 {
+	if len(All()) != 12 {
 		t.Fatalf("catalog has %d patterns", len(All()))
 	}
 	p, ok := Get("abba-deadlock")

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestMatrix drives every pinned (app, class) cell end to end: the
+// declared outcome is found within the seed budget, replays to
+// reproduction, and the captured order re-executes to the same
+// outcome class.
+func TestMatrix(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Metrics: reg}
+	for _, cell := range Matrix() {
+		cell := cell
+		t.Run(cell.App+"/"+cell.Class, func(t *testing.T) {
+			res := RunCell(cell, cfg)
+			if !res.OK() {
+				t.Fatalf("cell failed: %+v", res.Err)
+			}
+			if cell.Want != Clean && res.Attempts < 1 {
+				t.Fatalf("failure cell reported no replay attempts: %+v", res)
+			}
+		})
+	}
+	var cells uint64
+	for key, v := range reg.Snapshot().Counters {
+		if strings.HasPrefix(key, "pres_scenario_cells_total") {
+			cells += v
+		}
+	}
+	if want := uint64(len(Matrix())); cells != want {
+		t.Fatalf("pres_scenario_cells_total = %v, want %v", cells, want)
+	}
+}
+
+// TestMatrixShape: the matrix covers the full app x class cross with
+// pinned (non-Other) expectations — adding an app or a class without
+// pinning its cells is a test failure, not a silent gap.
+func TestMatrixShape(t *testing.T) {
+	cells := Matrix()
+	if want := len(apps.All()) * len(Classes()); len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Want == Other {
+			t.Errorf("cell %s/%s has no pinned expectation", c.App, c.Class)
+		}
+		if _, ok := ClassByName(c.Class); !ok {
+			t.Errorf("cell %s/%s names an unknown class", c.App, c.Class)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		f    *sched.Failure
+		want Outcome
+	}{
+		{nil, Clean},
+		{&sched.Failure{Reason: sched.ReasonAssert, BugID: "x"}, Bug},
+		{&sched.Failure{Reason: sched.ReasonCrash}, Crash},
+		{&sched.Failure{Reason: sched.ReasonDeadlock}, Deadlock},
+		{&sched.Failure{Reason: sched.ReasonStepLimit}, Other},
+		{&sched.Failure{Reason: sched.ReasonAssert}, Other}, // no bug id
+	}
+	for _, c := range cases {
+		if got := Classify(c.f); got != c.want {
+			t.Errorf("Classify(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+// TestInjectorsDeterministic: every stock injector is a pure function
+// of per-thread call history — the property replay correctness rests
+// on. Feed two fresh hooks the same per-thread sequences in different
+// global interleavings and require identical decisions.
+func TestInjectorsDeterministic(t *testing.T) {
+	points := []sched.InjectPoint{
+		{Kind: sched.InjectSyscall, Obj: 2},
+		{Kind: sched.InjectSyscall, Obj: 3},
+		{Kind: sched.InjectLock, Obj: 7},
+	}
+	for _, cl := range Classes() {
+		if cl.New == nil {
+			continue
+		}
+		a, b := cl.New(), cl.New()
+		var alternating []sched.InjectAction
+		// Interleaving 1: threads alternate. Interleaving 2: thread 1
+		// runs all its points, then thread 2.
+		for i := 0; i < 20; i++ {
+			for tid := 1; tid <= 2; tid++ {
+				alternating = append(alternating, a(trace.TID(tid), points[i%len(points)]))
+			}
+		}
+		for tid := 1; tid <= 2; tid++ {
+			for i := 0; i < 20; i++ {
+				act := b(trace.TID(tid), points[i%len(points)])
+				// Thread tid's i-th decision sits at 2i+tid-1 in
+				// interleaving 1's commit order.
+				if want := alternating[2*i+tid-1]; act != want {
+					t.Fatalf("%s: decision %d of thread %d depends on interleaving: %+v vs %+v",
+						cl.Name, i, tid, act, want)
+				}
+			}
+		}
+	}
+}

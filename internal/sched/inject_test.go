@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestInjectDisabledAllocFree is the record-path gate for the
+// injection seam: with no hook installed (the production default),
+// consulting the fault site costs zero allocations — the E2 overhead
+// numbers cannot move when nobody injects.
+func TestInjectDisabledAllocFree(t *testing.T) {
+	var allocs float64
+	Run(func(th *Thread) {
+		w := th.Spawn("w", func(tt *Thread) {
+			allocs = testing.AllocsPerRun(1000, func() {
+				if act := tt.Inject(InjectPoint{Kind: InjectSyscall, Obj: 7}); act != (InjectAction{}) {
+					t.Errorf("nil hook returned %+v", act)
+				}
+				if act := tt.Inject(InjectPoint{Kind: InjectLock, Obj: 9}); act != (InjectAction{}) {
+					t.Errorf("nil hook returned %+v", act)
+				}
+			})
+		})
+		th.Join(w)
+	}, Config{Strategy: Lowest{}})
+	if allocs != 0 {
+		t.Fatalf("disabled Inject allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestInjectHookConsulted: an installed hook sees every consultation
+// with the announcing thread's identity and point, and its action is
+// returned to the fault site verbatim.
+func TestInjectHookConsulted(t *testing.T) {
+	var seen []InjectPoint
+	var tids []trace.TID
+	res := Run(func(th *Thread) {
+		w := th.Spawn("w", func(tt *Thread) {
+			act := tt.Inject(InjectPoint{Kind: InjectSyscall, Obj: 3})
+			if act.ExtraCost != 11 || act.Outcome != InjectFailOp {
+				tt.Fail("inject-test", "hook action lost: %+v", act)
+			}
+		})
+		th.Join(w)
+		th.Inject(InjectPoint{Kind: InjectLock, Obj: 5})
+	}, Config{
+		Strategy: Lowest{},
+		Inject: func(tid trace.TID, p InjectPoint) InjectAction {
+			seen = append(seen, p)
+			tids = append(tids, tid)
+			if p.Kind == InjectSyscall {
+				return InjectAction{ExtraCost: 11, Outcome: InjectFailOp}
+			}
+			return InjectAction{}
+		},
+	})
+	if res.Failure != nil {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+	if len(seen) != 2 || seen[0] != (InjectPoint{Kind: InjectSyscall, Obj: 3}) || seen[1] != (InjectPoint{Kind: InjectLock, Obj: 5}) {
+		t.Fatalf("hook saw %+v", seen)
+	}
+	if len(tids) != 2 || tids[0] == tids[1] {
+		t.Fatalf("hook saw tids %v, want distinct thread identities", tids)
+	}
+}

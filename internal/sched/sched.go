@@ -194,6 +194,11 @@ type Config struct {
 	// baseline for handoffs/step and steps/sec. Traces under NoBatch
 	// are only comparable for strategies that ignore Candidate.Run.
 	NoBatch bool
+	// Inject, when non-nil, is the failure-injection hook consulted at
+	// every vsys call and lock acquisition (see inject.go and
+	// internal/scenario). Nil — the default — keeps the instrumented
+	// layers on their unconditional fast path.
+	Inject InjectFn
 }
 
 // DefaultMaxSteps bounds runs whose Config leaves MaxSteps zero.
