@@ -76,16 +76,22 @@ fuzz-short:
 ## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2,
 ## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS, the run-grant
 ## fast path's per-app steps/sec, handoffs/step, and allocs/step
-## before vs after, and the record path's global-log vs per-thread-log
-## fleet throughput across a GOMAXPROCS sweep — into BENCH_pr6.json.
+## before vs after, the record path's global-log vs per-thread-log
+## fleet throughput across a GOMAXPROCS sweep, and the always-on
+## record path's epoch-ring-off vs epoch-ring-on before/after — into
+## BENCH_pr9.json.
 bench:
 	$(GO) test -run TestSchedGrantLoopAllocFree -bench . -benchtime 1s .
-	$(GO) run ./cmd/presperf -out BENCH_pr6.json
+	$(GO) run ./cmd/presperf -out BENCH_pr9.json
 
 ## docs-drift: every pres_-prefixed metric name registered anywhere in
 ## the source (internal/obs wiring in sched/core/harness/cmd) must have
-## a row in OBSERVABILITY.md; a metric added without documentation
-## fails the gate.
+## a row in OBSERVABILITY.md, and every CLI flag README.md mentions in
+## inline code (`-flag`) must be registered by some tool in cmd/; a
+## metric or flag documented without code (or vice versa) fails the
+## gate. FLAG_ALLOW lists README tokens that look like flags but are
+## not ours (e.g. go test's -race).
+FLAG_ALLOW = race bench benchtime
 docs-drift:
 	@set -e; \
 	names=$$(grep -ohrE '"pres_[a-z_]+"' --include='*.go' --exclude='*_test.go' internal cmd | tr -d '"' | sort -u); \
@@ -95,5 +101,12 @@ docs-drift:
 			echo "docs-drift: metric $$n is registered in code but missing from OBSERVABILITY.md"; missing=1; \
 		fi; \
 	done; \
+	flags=$$(grep -ohE '[`]-[a-z][a-z0-9-]*' README.md | sed 's/^..//' | sort -u); \
+	for f in $$flags; do \
+		case " $(FLAG_ALLOW) " in *" $$f "*) continue;; esac; \
+		if ! grep -qrE "\"$$f\"" --include='*.go' cmd; then \
+			echo "docs-drift: flag -$$f is documented in README.md but no tool in cmd/ registers it"; missing=1; \
+		fi; \
+	done; \
 	if [ $$missing -ne 0 ]; then exit 1; fi; \
-	echo "docs-drift: $$(echo "$$names" | wc -l) pres_ metrics all documented"
+	echo "docs-drift: $$(echo "$$names" | wc -l) pres_ metrics and $$(echo "$$flags" | wc -l) README flags all in sync"

@@ -1,5 +1,5 @@
 // Presbench regenerates every table and figure of the paper's
-// evaluation (experiments E1-E12 in DESIGN.md; paper-vs-measured is
+// evaluation (experiments E1-E13 in DESIGN.md; paper-vs-measured is
 // recorded in EXPERIMENTS.md).
 //
 // Usage:
@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presbench: ")
 
-	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
 	schemeList := flag.String("schemes", "", "comma-separated scheme subset (default: all)")
 	procs := flag.Int("procs", 4, "modelled processor count")
 	budget := flag.Int("max-attempts", 1000, "replay attempt budget")
@@ -51,6 +51,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a JSONL trace of every replay attempt across all experiments")
 	scenarios := flag.Bool("scenarios", false, "run only the failure-injection scenarios (shorthand for -exp e12)")
 	genSweep := flag.Int("gen-sweep", 50, "generated-program seeds verified by E12's generator sweep")
+	epochRing := flag.Int("epoch-ring", 2, "epoch-ring capacity (retained epochs) for E13's always-on recordings")
+	cpEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in epoch rolls for E13's always-on recordings")
 	flag.Parse()
 
 	if *scenarios {
@@ -223,6 +225,13 @@ func main() {
 			harness.PrintE12Gen(os.Stdout, gen)
 		}
 		return map[string]any{"matrix": rows, "gen": gen}
+	})
+	run("e13", "always-on epoch-ring recording: attempts and window size vs epoch length (extension)", func() any {
+		rows := harness.RunE13(nil, nil, *epochRing, *cpEvery, cfg)
+		if !*asJSON {
+			harness.PrintE13(os.Stdout, rows, cfg)
+		}
+		return rows
 	})
 
 	interrupted := ctx.Err() != nil

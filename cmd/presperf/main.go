@@ -1,5 +1,5 @@
 // Presperf measures the repo's performance claims and writes them to a
-// JSON file (BENCH_pr6.json via the Makefile bench target):
+// JSON file (BENCH_pr9.json via the Makefile bench target):
 //
 //  1. sketch-encoder density and speed per scheme, v1 vs v2, on a real
 //     recorded mysqld production run;
@@ -17,11 +17,18 @@
 //     recordings — the production framing where many recorded
 //     executions share one machine — aggregate steps/sec at each
 //     GOMAXPROCS, in both modes, plus each mode's modelled recording
-//     overhead and a byte-identity check on the recordings.
+//     overhead and a byte-identity check on the recordings;
+//  5. the always-on record path: per-app production recording with the
+//     epoch ring off (classic whole-execution log) vs on (bounded ring
+//     with periodic world checkpoints) — real steps/sec, modelled
+//     overhead, and the retained-window size each way.
+//
+// The report header records the host the numbers were taken on
+// (GOMAXPROCS, CPU count, OS/arch, Go version, hostname).
 //
 // Usage:
 //
-//	presperf -out BENCH_pr6.json
+//	presperf -out BENCH_pr9.json
 package main
 
 import (
@@ -106,13 +113,40 @@ type recordResult struct {
 	PerThreadSpeedup float64            `json:"gomaxprocs_speedup_per_thread"`
 }
 
+// epochRecordResult is the always-on record path, epoch ring off vs
+// on, for one app: real recording throughput, the modelled overhead,
+// and what the bounded window retains.
+type epochRecordResult struct {
+	App                string  `json:"app"`
+	Scheme             string  `json:"scheme"`
+	Steps              uint64  `json:"steps"`
+	ClassicStepsPerSec float64 `json:"classic_steps_per_sec"`
+	RingStepsPerSec    float64 `json:"ring_steps_per_sec"`
+	RingCostPct        float64 `json:"ring_cost_pct"` // wall-clock cost of sealing+checkpointing
+	ClassicOverheadPct float64 `json:"classic_overhead_pct"`
+	RingOverheadPct    float64 `json:"ring_overhead_pct"`
+	EpochSteps         uint64  `json:"epoch_steps"`
+	RingSize           int     `json:"ring_size"`
+	Epochs             int     `json:"epochs_retained"`
+	Evicted            uint64  `json:"epochs_evicted"`
+	Checkpoints        int     `json:"checkpoints"`
+	WindowEntries      int     `json:"window_entries"`
+	TotalEntries       int     `json:"classic_entries"`
+}
+
 type report struct {
-	Tool       string          `json:"tool"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Encode     []encodeResult  `json:"encode"`
-	Harness    []harnessResult `json:"harness"`
-	Sched      []schedResult   `json:"sched"`
-	Record     []recordResult  `json:"record"`
+	Tool       string              `json:"tool"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoVersion  string              `json:"go_version"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	Hostname   string              `json:"hostname,omitempty"`
+	Encode     []encodeResult      `json:"encode"`
+	Harness    []harnessResult     `json:"harness"`
+	Sched      []schedResult       `json:"sched"`
+	Record     []recordResult      `json:"record"`
+	EpochRing  []epochRecordResult `json:"epoch_ring"`
 }
 
 // countWriter measures encoded size without retaining bytes.
@@ -126,14 +160,24 @@ func (w *countWriter) Write(p []byte) (int, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presperf: ")
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	scale := flag.Int("scale", 400, "workload scale for the recorded run")
 	overheadScale := flag.Int("overhead-scale", 150, "workload scale for the harness matrix timing")
 	schedScale := flag.Int("sched-scale", 300, "workload scale for the fast-path before/after runs")
 	reps := flag.Int("reps", 3, "timing repetitions (best-of)")
 	flag.Parse()
 
-	rep := report{Tool: "presperf", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rep := report{
+		Tool:       "presperf",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if host, err := os.Hostname(); err == nil {
+		rep.Hostname = host
+	}
 
 	prog, ok := apps.Get("mysqld")
 	if !ok {
@@ -222,6 +266,31 @@ func main() {
 			last.GlobalStepsPerSec/1e6, last.PerThreadStepsPerSec/1e6,
 			r.GlobalSpeedup, r.PerThreadSpeedup,
 			r.GlobalOverheadPct, r.PerThreadOverheadPct, r.EpochSeals, r.BytesIdentical)
+	}
+
+	// Always-on record path: same per-app production recording with the
+	// epoch ring off (the classic whole-execution log — "before") and on
+	// ("after": bounded ring, periodic checkpoints). The schedule is
+	// identical either way, so the throughput delta is exactly the cost
+	// of sealing epochs and snapshotting the world.
+	for _, rc := range []struct {
+		app    string
+		scheme sketch.Scheme
+	}{
+		{"mysqld", sketch.SYNC},
+		{"fft", sketch.RW},
+		{"pbzip2", sketch.SYNC},
+	} {
+		prog, ok := apps.Get(rc.app)
+		if !ok {
+			log.Fatalf("%s not in corpus", rc.app)
+		}
+		r := timeEpochRecord(prog, rc.scheme, *schedScale, *reps)
+		rep.EpochRing = append(rep.EpochRing, r)
+		fmt.Printf("epoch-ring %-9s %-4s %.2fM -> %.2fM steps/s (+%.1f%% wall)  overhead %.2f%% -> %.2f%%  window %d/%d entries  %d epochs (%d evicted)  %d checkpoints\n",
+			r.App, r.Scheme, r.ClassicStepsPerSec/1e6, r.RingStepsPerSec/1e6, r.RingCostPct,
+			r.ClassicOverheadPct, r.RingOverheadPct,
+			r.WindowEntries, r.TotalEntries, r.Epochs, r.Evicted, r.Checkpoints)
 	}
 
 	f, err := os.Create(*out)
@@ -426,6 +495,52 @@ func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int
 	first, last := r.Sweep[0], r.Sweep[len(r.Sweep)-1]
 	r.GlobalSpeedup = last.GlobalStepsPerSec / first.GlobalStepsPerSec
 	r.PerThreadSpeedup = last.PerThreadStepsPerSec / first.PerThreadStepsPerSec
+	return r
+}
+
+// timeEpochRecord records one app's patched production run (the E2
+// overhead configuration) with the epoch ring off and on, best-of-reps
+// each, and reports the real throughput delta plus what the ring
+// retains. Ring geometry: 2048-step epochs, 8 retained, a checkpoint
+// per seal — a long-running service's always-on setting scaled to the
+// corpus workloads.
+func timeEpochRecord(prog *appkit.Program, scheme sketch.Scheme, scale, reps int) epochRecordResult {
+	opts := core.Options{
+		Scheme:       scheme,
+		Processors:   4,
+		ScheduleSeed: 1,
+		WorldSeed:    1,
+		Scale:        scale,
+		MaxSteps:     5_000_000,
+		FixBugs:      true,
+	}
+	ringOpts := opts
+	ringOpts.EpochRing = &core.EpochRingOptions{Steps: 2048, Size: 8, CheckpointEvery: 1}
+
+	r := epochRecordResult{
+		App:        prog.Name,
+		Scheme:     scheme.String(),
+		EpochSteps: ringOpts.EpochRing.Steps,
+		RingSize:   ringOpts.EpochRing.Size,
+	}
+
+	// Untimed probes for the modelled overheads and the ring shape.
+	classic := core.Record(prog, opts)
+	ring := core.Record(prog, ringOpts)
+	r.Steps = classic.Result.Steps
+	r.ClassicOverheadPct = 100 * classic.Result.Overhead()
+	r.RingOverheadPct = 100 * ring.Result.Overhead()
+	r.TotalEntries = classic.Sketch.Len()
+	r.WindowEntries = ring.Sketch.Len()
+	if er := ring.Epochs; er != nil {
+		r.Epochs = len(er.Epochs)
+		r.Evicted = er.Evicted
+		r.Checkpoints = len(er.Checkpoints)
+	}
+
+	_, r.ClassicStepsPerSec, _, _ = measureRecord(prog, opts, reps)
+	_, r.RingStepsPerSec, _, _ = measureRecord(prog, ringOpts, reps)
+	r.RingCostPct = 100 * (r.ClassicStepsPerSec/r.RingStepsPerSec - 1)
 	return r
 }
 

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	presreplay -app mysqld -bug mysql-169 run.pres
+//	presreplay -app mysqld -bug mysql-169 -seed 7 -from-checkpoint run.pres
+//
+// An epoch-ring recording (presrun -epoch-steps/-epoch-ring/
+// -checkpoint-every) additionally carries checkpoints; -from-checkpoint
+// starts every attempt at the newest one, which needs the recording's
+// schedule seed (-seed) to re-execute the prefix deterministically.
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 	procs := flag.Int("procs", 4, "processor count used for the recording")
 	scale := flag.Int("scale", 0, "workload scale used for the recording")
 	worldSeed := flag.Int64("world-seed", 1, "world seed used for the recording")
+	seed := flag.Int64("seed", 0, "schedule seed used for the recording (required by -from-checkpoint's prefix re-execution)")
+	fromCP := flag.Bool("from-checkpoint", false, "start every attempt at the recording's newest retained checkpoint instead of process start")
 	maxAttempts := flag.Int("max-attempts", 1000, "replay attempt budget")
 	noFeedback := flag.Bool("no-feedback", false, "disable feedback (random exploration ablation)")
 	verify := flag.Int("verify", 3, "re-replays of the captured order after success")
@@ -60,9 +68,10 @@ func main() {
 	}
 	defer f.Close()
 	rec, err := repro.ReadRecording(f, repro.Options{
-		Processors: *procs,
-		WorldSeed:  *worldSeed,
-		Scale:      *scale,
+		Processors:   *procs,
+		WorldSeed:    *worldSeed,
+		Scale:        *scale,
+		ScheduleSeed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,6 +81,18 @@ func main() {
 	}
 	fmt.Printf("recording: scheme=%v entries=%d inputs=%d\n",
 		rec.Scheme, rec.Sketch.Len(), rec.Inputs.Len())
+	if ring := rec.Epochs; ring != nil {
+		fmt.Printf("epochs: %d retained (+%d evicted), %d checkpoints, window=%d entries\n",
+			len(ring.Epochs), ring.Evicted, len(ring.Checkpoints), ring.WindowLen())
+	}
+	if *fromCP {
+		if rec.Epochs == nil || len(rec.Epochs.Checkpoints) == 0 {
+			log.Print("warning: -from-checkpoint set but the recording carries no checkpoints; replaying from process start")
+		} else if cp := rec.Epochs.Checkpoints[len(rec.Epochs.Checkpoints)-1]; true {
+			fmt.Printf("replaying from checkpoint at epoch %d (step %d, %d inputs consumed)\n",
+				cp.Epoch, cp.Step, cp.InputIndex)
+		}
+	}
 
 	// The search context: -timeout bounds the wall clock, and SIGINT
 	// cancels cooperatively — either way the pool drains, the committed
@@ -99,6 +120,7 @@ func main() {
 		Oracle:          oracle,
 		Workers:         w,
 		AdaptiveWorkers: *adaptive,
+		FromCheckpoint:  *fromCP,
 	}
 	var cache *repro.SearchCache
 	if *cacheSize != 0 {

@@ -7,6 +7,7 @@
 //
 //	presrun -app mysqld -scheme SYNC -seed 7 -o run.pres
 //	presrun -bug mysql-169 -scheme SYNC -o run.pres   # seed search
+//	presrun -bug mysql-169 -epoch-steps 64 -epoch-ring 2 -checkpoint-every 1 -o run.pres
 package main
 
 import (
@@ -32,6 +33,9 @@ func main() {
 	worldSeed := flag.Int64("world-seed", 1, "virtual syscall world seed")
 	fixed := flag.Bool("fixed", false, "run the patched (bug-free) variant")
 	perThreadLog := flag.Bool("per-thread-log", false, "record into per-thread sketch shards merged at encode time (same bytes, cheaper modelled overhead for dense schemes)")
+	epochSteps := flag.Uint64("epoch-steps", 0, "seal the sketch into epochs of this many committed events (0 = classic whole-execution recording)")
+	epochRing := flag.Int("epoch-ring", 0, "retain at most this many epochs, evicting the oldest (0 = unbounded; implies -epoch-steps' default length)")
+	cpEvery := flag.Int("checkpoint-every", 0, "capture a world checkpoint every N epoch seals (0 = no checkpoints; implies epoch recording)")
 	out := flag.String("o", "", "write the recording to this file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -72,6 +76,13 @@ func main() {
 		Scale:        *scale,
 		FixBugs:      *fixed,
 		PerThreadLog: *perThreadLog,
+	}
+	if *epochSteps > 0 || *epochRing > 0 || *cpEvery > 0 {
+		opts.EpochRing = &repro.EpochRingOptions{
+			Steps:           *epochSteps,
+			Size:            *epochRing,
+			CheckpointEvery: *cpEvery,
+		}
 	}
 
 	// Observability sinks (see OBSERVABILITY.md). The trace gets one
@@ -144,6 +155,10 @@ func main() {
 		prog.Name, scheme, rec.Result.Steps, rec.Sketch.Len(),
 		float64(rec.Sketch.Len())/float64(max(rec.Sketch.TotalOps, 1)),
 		rec.LogBytes(), rec.Result.Overhead()*100)
+	if ring := rec.Epochs; ring != nil {
+		fmt.Printf("epochs: %d retained (+%d evicted), %d checkpoints, window=%d entries\n",
+			len(ring.Epochs), ring.Evicted, len(ring.Checkpoints), ring.WindowLen())
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -157,10 +172,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("recording written to %s\n", *out)
-		fmt.Printf("replay with: presreplay -app %s -scheme %v -world-seed %d -procs %d -scale %d",
-			prog.Name, scheme, *worldSeed, *procs, *scale)
+		fmt.Printf("replay with: presreplay -app %s -seed %d -world-seed %d -procs %d -scale %d",
+			prog.Name, rec.Options.ScheduleSeed, *worldSeed, *procs, *scale)
 		if *bugID != "" {
 			fmt.Printf(" -bug %s", *bugID)
+		}
+		if rec.Epochs != nil && len(rec.Epochs.Checkpoints) > 0 {
+			fmt.Printf(" -from-checkpoint")
 		}
 		fmt.Printf(" %s\n", *out)
 	}

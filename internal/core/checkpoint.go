@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/vsys"
+)
+
+// Replay from a checkpoint. A checkpoint (trace.Checkpoint) names an
+// epoch boundary by its committed-event count and carries digests of
+// the event stream and the virtual world at that point. Replay cannot
+// deserialize thread state, so "starting at the checkpoint" is done by
+// deterministically re-executing the prefix: the production schedule is
+// a pure function of the recorded seeds (sched.NewRandomMP consumes
+// randomness only per granted pick, identically with or without the
+// run-grant fast path), so running the production strategy for exactly
+// cp.Step committed events re-establishes the boundary. The restore
+// strategy validates both digests at the switch point and only then
+// hands the schedule to the director, which enforces the retained
+// sketch window strictly from its first entry.
+//
+// The prefix runs with the world in Live mode, not Replay mode: the
+// production world seed regenerates every recorded input
+// deterministically, and — crucially — keeps blocking calls' recorded
+// enabledness. Replay mode enables a blocked call (a queue Recv, say)
+// as soon as a logged input exists for it, which offers the scheduler
+// candidates the production run never saw and diverges the prefix
+// (apache-25520's workers blocking on the listener queue exposed
+// this). At the boundary the restore strategy flips the world into
+// Replay mode with the input cursor fast-forwarded past the
+// checkpoint's InputIndex, so the constrained tail is served logged
+// inputs exactly as a whole-execution replay would serve them.
+//
+// The search space this buys is the point of the epoch design: flip
+// points and sketch enforcement are confined to the window after the
+// checkpoint, so search depth is bounded by the flip candidates of the
+// retained epochs, not the whole execution.
+
+// activeCheckpoint resolves the checkpoint a replay attempt starts
+// from: the newest retained one, when the caller asked for
+// checkpointed replay and the recording carries any.
+func activeCheckpoint(rec *Recording, opts ReplayOptions) (trace.Checkpoint, bool) {
+	if !opts.FromCheckpoint || rec.Epochs == nil {
+		return trace.Checkpoint{}, false
+	}
+	return rec.Epochs.LastCheckpoint()
+}
+
+// windowFrom slices the recording's retained sketch entries to those at
+// or after the checkpoint. Sketch holds the window starting at global
+// entry index Epochs.EvictedEntries; the checkpoint's SketchIndex is a
+// global index within that window (eviction drops checkpoints before
+// the window, so the offset cannot go negative on a well-formed
+// recording — a salvaged one is clamped).
+func windowFrom(rec *Recording, cp trace.Checkpoint) []trace.SketchEntry {
+	off := int64(cp.SketchIndex) - int64(rec.Epochs.EvictedEntries)
+	if off < 0 {
+		off = 0
+	}
+	if off > int64(len(rec.Sketch.Entries)) {
+		off = int64(len(rec.Sketch.Entries))
+	}
+	return rec.Sketch.Entries[off:]
+}
+
+// restoreStrategy re-establishes a checkpoint boundary and then
+// delegates to the director. Phase one (steps < boundary) forwards
+// every pick to a fresh production strategy over a Live-mode world,
+// reproducing the recorded prefix draw for draw; at the boundary it
+// compares the running event digest and the world's state digest
+// against the checkpoint's, and only on a match flips the world into
+// Replay mode for the constrained tail. A mismatch marks the attempt
+// diverged — the recording and this binary disagree about the prefix,
+// so enforcement past the boundary would be meaningless.
+//
+// Like cancellableStrategy, it deliberately forwards no
+// sched.RunGranter: budget-1 grants keep the phase switch exact (a
+// multi-point run granted just before the boundary would overshoot it),
+// and RandomMP's single-step continuation branch reproduces the same
+// schedule without budgets.
+type restoreStrategy struct {
+	prod   sched.Strategy // production strategy for the prefix
+	dir    *director
+	world  *vsys.World
+	inputs *trace.InputLog
+
+	boundary  uint64 // cp.Step: committed events in the prefix
+	inputFrom int    // cp.InputIndex: inputs the prefix consumes
+
+	steps      uint64
+	digest     *trace.Digest
+	wantDigest uint64
+	wantWorld  uint64
+	switched   bool
+	mismatch   bool
+}
+
+func newRestoreStrategy(rec *Recording, cp trace.Checkpoint, dir *director, world *vsys.World) *restoreStrategy {
+	ro := rec.Options
+	return &restoreStrategy{
+		prod:       sched.NewRandomMP(ro.processors(), ro.preempt(), ro.ScheduleSeed),
+		dir:        dir,
+		world:      world,
+		inputs:     rec.Inputs,
+		boundary:   cp.Step,
+		inputFrom:  int(cp.InputIndex),
+		digest:     trace.NewDigest(),
+		wantDigest: cp.EventDigest,
+		wantWorld:  cp.WorldDigest,
+	}
+}
+
+// Pick implements sched.Strategy.
+func (r *restoreStrategy) Pick(view *sched.PickView) (trace.TID, bool) {
+	if r.steps < r.boundary {
+		return r.prod.Pick(view)
+	}
+	if !r.switched {
+		r.switched = true
+		if r.digest.Sum() != r.wantDigest || r.world.Digest() != r.wantWorld {
+			r.mismatch = true
+		} else {
+			// Boundary validated: serve the rest of the recorded inputs
+			// from the log, like a whole-execution replay past this point.
+			r.world.StartReplayFrom(r.inputs, r.inputFrom)
+		}
+	}
+	if r.mismatch {
+		return trace.NoTID, false
+	}
+	return r.dir.Pick(view)
+}
+
+// OnEvent implements sched.Observer, folding the prefix's committed
+// events into the digest the boundary check compares.
+func (r *restoreStrategy) OnEvent(ev trace.Event) uint64 {
+	if r.steps < r.boundary {
+		r.digest.Entry(trace.EntryOf(ev))
+	}
+	r.steps++
+	return 0
+}

@@ -95,11 +95,24 @@ func (c *cancellableStrategy) Pick(view *sched.PickView) (trace.TID, bool) {
 func runAttempt(ctx context.Context, prog *appkit.Program, rec *Recording, fs flipSet, rng *rand.Rand, opts ReplayOptions, idx int64, cancel *atomic.Int64) attemptOutcome {
 	start := time.Now()
 	world := vsys.NewWorld(rec.Options.WorldSeed)
-	world.StartReplay(rec.Inputs)
-
 	entries := rec.Sketch.Entries
 	softStart := false
-	if opts.SketchTail > 0 && opts.SketchTail < len(entries) {
+	cp, fromCP := activeCheckpoint(rec, opts)
+	if !fromCP {
+		world.StartReplay(rec.Inputs)
+	}
+	// Checkpointed attempts leave the world in Live mode: the prefix
+	// re-execution regenerates the recorded inputs from the world seed,
+	// and the restore strategy flips to Replay mode at the validated
+	// boundary (see checkpoint.go).
+	switch {
+	case fromCP:
+		// Checkpointed replay: the prefix is re-executed exactly, so the
+		// window from the checkpoint is enforced strictly from entry 0 —
+		// no soft start. Overrides SketchTail (the checkpoint decides
+		// where constrained replay begins).
+		entries = windowFrom(rec, cp)
+	case opts.SketchTail > 0 && opts.SketchTail < len(entries):
 		// Tail-only replay: the prefix of the execution is
 		// unconstrained, so the sketch can only ever be a soft guide.
 		entries = entries[len(entries)-opts.SketchTail:]
@@ -121,12 +134,19 @@ func runAttempt(ctx context.Context, prog *appkit.Program, rec *Recording, fs fl
 	}
 
 	var strat sched.Strategy = dir
+	observers := []sched.Observer{dir, det, cap}
+	var rs *restoreStrategy
+	if fromCP {
+		rs = newRestoreStrategy(rec, cp, dir, world)
+		strat = rs
+		observers = append(observers, rs)
+	}
 	if cancel != nil {
-		strat = &cancellableStrategy{inner: dir, idx: idx, cancel: cancel}
+		strat = &cancellableStrategy{inner: strat, idx: idx, cancel: cancel}
 	}
 	res := execute(prog, rec.Options, sched.Config{
 		Strategy:  strat,
-		Observers: []sched.Observer{dir, det, cap},
+		Observers: observers,
 		MaxSteps:  maxSteps,
 		Metrics:   opts.Metrics,
 		Ctx:       ctx,
@@ -139,6 +159,21 @@ func runAttempt(ctx context.Context, prog *appkit.Program, rec *Recording, fs fl
 	}
 	if out.horizon == 0 {
 		out.horizon = res.Steps
+	}
+	if fromCP {
+		// Only races whose first access falls after the boundary are
+		// flippable: the prefix is re-executed verbatim every attempt, so
+		// a flip holding a prefix access could never engage differently.
+		kept := out.races[:0:0]
+		for _, p := range out.races {
+			if p.FirstSeq > cp.Step {
+				kept = append(kept, p)
+			}
+		}
+		out.races = kept
+		if rs.mismatch {
+			out.note = "checkpoint boundary mismatch: recording and prefix re-execution disagree"
+		}
 	}
 	switch {
 	case res.Failure == nil:

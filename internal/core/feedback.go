@@ -148,7 +148,19 @@ func searchDigest(prog *appkit.Program, rec *Recording, opts ReplayOptions) uint
 	} else {
 		d.Word(0)
 	}
-	for _, e := range rec.Sketch.Entries {
+	entries := rec.Sketch.Entries
+	if cp, ok := activeCheckpoint(rec, opts); ok {
+		// Checkpointed attempts enforce only the window from the
+		// checkpoint, against a re-executed prefix: the cache context is
+		// the checkpoint's identity plus that window, so searches from
+		// different checkpoints (or from the start) never share entries.
+		d.Word(cp.Step)
+		d.Word(cp.SketchIndex)
+		d.Word(cp.EventDigest)
+		d.Word(cp.WorldDigest)
+		entries = windowFrom(rec, cp)
+	}
+	for _, e := range entries {
 		d.Entry(e)
 	}
 	for _, in := range rec.Inputs.Records {

@@ -59,6 +59,16 @@ type Options struct {
 	// sketch.LocalRecordCost/EpochSealCost). The global log remains the
 	// default and the reference path.
 	PerThreadLog bool
+	// EpochRing, when non-nil, selects epoch-segmented recording: the
+	// sketch is sealed into fixed-length epochs kept in a bounded ring
+	// with periodic checkpoints (see EpochRingOptions). The recorded
+	// interleaving is identical to a plain recording of the same seeds —
+	// sealing observes the committed stream, it never perturbs it — and
+	// an unbounded, checkpoint-free ring serializes byte-identically to
+	// the classic format. Takes precedence over PerThreadLog (the two
+	// answer the same question at different layers). Nil, the default,
+	// is the classic whole-execution path, untouched.
+	EpochRing *EpochRingOptions
 	// Inject, when non-nil, returns a fresh failure-injection hook for
 	// each execution (internal/scenario's failure classes are such
 	// factories). The factory shape matters: injectors keep per-thread
@@ -102,6 +112,11 @@ type Recording struct {
 	Inputs  *trace.InputLog
 	Options Options
 	Result  *sched.Result
+	// Epochs is the epoch-segmented container when the recording was
+	// made with Options.EpochRing (nil otherwise). Sketch then holds the
+	// retained window's log view — Entries are the window, TotalOps and
+	// Records keep whole-run counts.
+	Epochs *trace.EpochRing
 }
 
 // BugFailure returns the manifested bug failure of the production run,
@@ -134,12 +149,25 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 // deterministic, so sizing is just encoding into a byte counter — and
 // the section then streams straight to w, so a large RW recording is
 // never held in memory a second time.
+// Epoch-segmented recordings whose ring carries structure the classic
+// format cannot express (a bounded window or checkpoints) are written
+// as a container instead: the trace.EpochContainerMagic sniff tag, then
+// a length-prefixed epoch section and input section. An unbounded,
+// checkpoint-free ring's window is the whole log, so it takes the
+// classic path — byte-identical to a recording made without EpochRing.
 func (r *Recording) Write(w io.Writer) error {
-	var lead [binary.MaxVarintLen64]byte
-	for _, enc := range []func(io.Writer) error{
+	sections := []func(io.Writer) error{
 		func(w io.Writer) error { return trace.EncodeSketch(w, r.Sketch) },
 		func(w io.Writer) error { return trace.EncodeInput(w, r.Inputs) },
-	} {
+	}
+	if r.Epochs != nil && r.Epochs.Segmented() {
+		if _, err := w.Write([]byte(trace.EpochContainerMagic)); err != nil {
+			return err
+		}
+		sections[0] = func(w io.Writer) error { return trace.EncodeEpochs(w, r.Epochs) }
+	}
+	var lead [binary.MaxVarintLen64]byte
+	for _, enc := range sections {
 		var cw countingWriter
 		if err := enc(&cw); err != nil {
 			return err
@@ -169,10 +197,19 @@ func readSection(br io.ByteReader, rd io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
-// ReadRecording deserializes logs written by Write. Options and Result
-// are not part of the wire format; the caller supplies Options.
+// ReadRecording deserializes logs written by Write — both layouts.
+// The container is sniffed by its leading magic, which the classic
+// format can never start with (its first byte is a uvarint length, so
+// either the high bit is set or the "PRSK" sketch magic follows).
+// Options and Result are not part of the wire format; the caller
+// supplies Options.
 func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
 	br := bufio.NewReader(rd)
+	container := false
+	if head, err := br.Peek(len(trace.EpochContainerMagic)); err == nil && string(head) == trace.EpochContainerMagic {
+		br.Discard(len(trace.EpochContainerMagic))
+		container = true
+	}
 	skBytes, err := readSection(br, br)
 	if err != nil {
 		return nil, err
@@ -181,9 +218,19 @@ func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
 	if err != nil {
 		return nil, err
 	}
-	sk, err := trace.DecodeSketch(bytes.NewReader(skBytes))
-	if err != nil {
-		return nil, err
+	var sk *trace.SketchLog
+	var ring *trace.EpochRing
+	if container {
+		ring, err = trace.DecodeEpochs(bytes.NewReader(skBytes))
+		if err != nil {
+			return nil, err
+		}
+		sk = ring.WindowLog()
+	} else {
+		sk, err = trace.DecodeSketch(bytes.NewReader(skBytes))
+		if err != nil {
+			return nil, err
+		}
 	}
 	in, err := trace.DecodeInput(bytes.NewReader(inBytes))
 	if err != nil {
@@ -193,7 +240,7 @@ func ReadRecording(rd io.Reader, opts Options) (*Recording, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Recording{Scheme: scheme, Sketch: sk, Inputs: in, Options: opts}, nil
+	return &Recording{Scheme: scheme, Sketch: sk, Inputs: in, Options: opts, Epochs: ring}, nil
 }
 
 // execute runs prog once with a fresh world in the given vsys mode. It
@@ -240,10 +287,15 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 		Log() *trace.SketchLog
 	}
 	var shardRec *sketch.ShardRecorder
-	if opts.PerThreadLog {
+	var epochRec *epochRecorder
+	switch {
+	case opts.EpochRing != nil:
+		epochRec = newEpochRecorder(opts.Scheme, world, inputs, opts.EpochRing)
+		rec = epochRec
+	case opts.PerThreadLog:
 		shardRec = sketch.NewShardRecorder(opts.Scheme)
 		rec = shardRec
-	} else {
+	default:
 		rec = sketch.NewRecorder(opts.Scheme)
 	}
 	res := execute(prog, opts, sched.Config{
@@ -263,6 +315,9 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 		log = shardRec.Log()
 		sp.Stop()
 	} else {
+		if epochRec != nil {
+			epochRec.finish()
+		}
 		log = rec.Log()
 	}
 	out := &Recording{
@@ -271,6 +326,9 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 		Inputs:  inputs,
 		Options: opts,
 		Result:  res,
+	}
+	if epochRec != nil {
+		out.Epochs = epochRec.ring
 	}
 	if m := opts.Metrics; m != nil {
 		m.Counter("pres_record_runs_total", "scheme", scheme).Inc()
@@ -288,6 +346,12 @@ func RecordContext(ctx context.Context, prog *appkit.Program, opts Options) *Rec
 			m.Counter("pres_record_epoch_seals_total", "scheme", scheme).Add(shardRec.Seals())
 			m.Gauge("pres_record_shards", "scheme", scheme).Set(float64(shardRec.Shards()))
 			m.Gauge("pres_record_shard_highwater_entries", "scheme", scheme).SetMax(float64(shardRec.HighWater()))
+		}
+		if epochRec != nil {
+			m.Counter("pres_record_epoch_rolls_total", "scheme", scheme).Add(epochRec.rolls)
+			m.Counter("pres_record_epoch_evicted_total", "scheme", scheme).Add(epochRec.ring.Evicted)
+			m.Counter("pres_record_epoch_checkpoints_total", "scheme", scheme).Add(uint64(len(epochRec.ring.Checkpoints)))
+			m.Gauge("pres_record_epoch_ring_entries", "scheme", scheme).SetMax(float64(epochRec.highWater))
 		}
 	}
 	return out

@@ -88,6 +88,17 @@ type ReplayOptions struct {
 	// retention) — experiment E9 measures how reproduction degrades as
 	// the retained fraction shrinks.
 	SketchTail int
+	// FromCheckpoint starts every attempt from the recording's newest
+	// retained checkpoint (recordings made with Options.EpochRing and
+	// CheckpointEvery > 0): the prefix up to the checkpoint is
+	// re-executed deterministically under the production strategy and
+	// validated against the checkpoint's digests, then the director
+	// enforces only the sketch window from the checkpoint on. Flip-point
+	// enumeration is likewise confined to races after the boundary, so
+	// search depth is bounded by the retained epochs, not the whole
+	// execution. Ignored (with no effect on the search trajectory) when
+	// the recording carries no checkpoint. Overrides SketchTail.
+	FromCheckpoint bool
 	// Workers sizes the work-stealing attempt pool. Each worker pulls
 	// the next canonical attempt — alternating probabilistic samples
 	// and directed frontier pops — and runs it as an independent
@@ -303,6 +314,9 @@ func ReplayContext(ctx context.Context, prog *appkit.Program, rec *Recording, op
 	if m := opts.Metrics; m != nil {
 		active = m.Gauge("pres_replay_workers_active")
 		occ = m.Histogram("pres_replay_wave_occupancy", waveBuckets)
+		if _, ok := activeCheckpoint(rec, opts); ok {
+			m.Counter("pres_replay_from_checkpoint_total", "scheme", rec.Scheme.String()).Inc()
+		}
 	}
 
 	err := exec.Run(ctx, exec.Config{

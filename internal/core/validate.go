@@ -42,5 +42,32 @@ func (r *Recording) Validate() error {
 			return fmt.Errorf("core: input record %d has zero call code", i)
 		}
 	}
+	if ring := r.Epochs; ring != nil {
+		if ring.WindowLen() != r.Sketch.Len() {
+			return fmt.Errorf("core: epoch window holds %d entries but sketch view has %d", ring.WindowLen(), r.Sketch.Len())
+		}
+		want := ring.Evicted
+		entry := ring.EvictedEntries
+		for i, e := range ring.Epochs {
+			if e.ID != want {
+				return fmt.Errorf("core: epoch %d has id %d, want %d", i, e.ID, want)
+			}
+			if e.StartEntry != entry {
+				return fmt.Errorf("core: epoch %d starts at entry %d, want %d", e.ID, e.StartEntry, entry)
+			}
+			want++
+			entry += uint64(len(e.Entries))
+		}
+		for i, cp := range ring.Checkpoints {
+			if cp.Epoch < ring.Evicted || cp.Epoch > ring.Evicted+uint64(len(ring.Epochs)) {
+				return fmt.Errorf("core: checkpoint %d at epoch %d is outside the retained window [%d, %d]",
+					i, cp.Epoch, ring.Evicted, ring.Evicted+uint64(len(ring.Epochs)))
+			}
+			if cp.SketchIndex < ring.EvictedEntries || cp.SketchIndex > entry {
+				return fmt.Errorf("core: checkpoint %d sketch index %d is outside the retained entries [%d, %d]",
+					i, cp.SketchIndex, ring.EvictedEntries, entry)
+			}
+		}
+	}
 	return nil
 }

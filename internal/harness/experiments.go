@@ -473,6 +473,101 @@ func RunE10(schemes []sketch.Scheme, cfg Config) []E10Row {
 	})
 }
 
+// E13Row is one cell of the always-on-recording experiment (an
+// extension beyond the paper): replay attempts and retained log size
+// when production records into a bounded epoch ring with periodic
+// checkpoints, swept over the epoch length. EpochSteps 0 is the
+// whole-execution baseline (classic recording, replay from the start).
+type E13Row struct {
+	Bug        string
+	EpochSteps uint64 // 0 = epoch recording off (baseline)
+	// Ring shape of the recording: retained epochs, evicted epochs, and
+	// surviving checkpoints. The replay starts from the newest
+	// checkpoint; zero checkpoints (run too short to roll) makes the
+	// checkpointed replay identical to the baseline.
+	Epochs      int
+	Evicted     uint64
+	Checkpoints int
+	// WindowEntries/WindowBytes size the retained sketch window — the
+	// always-on deployment's storage bound for this epoch length.
+	WindowEntries int
+	WindowBytes   int
+	Attempts      int
+	Reproduced    bool
+	Err           error
+}
+
+// E13Bugs is the default subset for the epoch sweep: bugs whose buggy
+// runs live long enough to seal checkpoints (short-crash bugs leave an
+// empty ring and reduce to the baseline row).
+var E13Bugs = []string{"mysql-169", "fft-barrier", "pbzip2-order", "openldap-deadlock", "apache-25520"}
+
+// RunE13 sweeps the epoch length for a bug subset under SYNC: each bug
+// is seed-searched once, then re-recorded at the same seed with an
+// epoch ring of the given capacity and checkpoint cadence (sealing
+// never perturbs the interleaving, so the same seed manifests the same
+// bug), and replayed from the newest checkpoint. Shorter epochs keep
+// the retained window small and the search shallow; epochs longer than
+// the run never roll, so the row degrades to whole-log replay.
+func RunE13(bugs []string, lengths []uint64, ringSize, cpEvery int, cfg Config) []E13Row {
+	defer cfg.timeExperiment("e13")()
+	if bugs == nil {
+		bugs = E13Bugs
+	}
+	if lengths == nil {
+		lengths = []uint64{16, 32, 64}
+	}
+	if ringSize <= 0 {
+		ringSize = 2
+	}
+	if cpEvery <= 0 {
+		cpEvery = 1
+	}
+	// The cell is the bug: every epoch length replays a re-recording of
+	// the same seed, so splitting cells would repeat the seed search.
+	perBug := runCells(cfg, "e13", len(bugs), func(i int) []E13Row {
+		bug := bugs[i]
+		prog, _ := apps.ProgramForBug(bug)
+		seed, rec, err := FindBuggySeed(prog, bug, sketch.SYNC, cfg)
+		out := make([]E13Row, 0, len(lengths)+1)
+		base := E13Row{Bug: bug, Err: err}
+		if err == nil {
+			base.WindowEntries = rec.Sketch.Len()
+			base.WindowBytes = sketch.EncodedSize(rec.Sketch)
+			res := cfg.replay(prog, rec, cfg.replayOptions(bug))
+			base.Attempts, base.Reproduced = res.Attempts, res.Reproduced
+		}
+		out = append(out, base)
+		for _, es := range lengths {
+			row := E13Row{Bug: bug, EpochSteps: es, Err: err}
+			if err != nil {
+				out = append(out, row)
+				continue
+			}
+			opts := cfg.options(sketch.SYNC, seed)
+			opts.EpochRing = &core.EpochRingOptions{Steps: es, Size: ringSize, CheckpointEvery: cpEvery}
+			erec := cfg.record(prog, opts)
+			ring := erec.Epochs
+			row.Epochs = len(ring.Epochs)
+			row.Evicted = ring.Evicted
+			row.Checkpoints = len(ring.Checkpoints)
+			row.WindowEntries = erec.Sketch.Len()
+			row.WindowBytes = sketch.EncodedSize(erec.Sketch)
+			ropts := cfg.replayOptions(bug)
+			ropts.FromCheckpoint = true
+			res := cfg.replay(prog, erec, ropts)
+			row.Attempts, row.Reproduced = res.Attempts, res.Reproduced
+			out = append(out, row)
+		}
+		return out
+	})
+	var rows []E13Row
+	for _, r := range perBug {
+		rows = append(rows, r...)
+	}
+	return rows
+}
+
 // E11Row is one cell of the work-stealing-search scaling experiment (an
 // extension beyond the paper): wall-clock to reproduce one bug at a
 // given worker-pool size, cold and warm against the schedule cache.

@@ -34,11 +34,12 @@ type E12Row struct {
 
 // RunE12 drives the full injection matrix: every corpus app under
 // every failure class, each cell searched to its declared outcome and
-// replayed to reproduction. Cells fan out to cfg's pool; rows commit
-// in canonical (app, class) order.
+// replayed to reproduction, plus the epoch-ring variants of the crash
+// and lock-wedge cells (bounded recording, checkpointed replay). Cells
+// fan out to cfg's pool; rows commit in canonical (app, class) order.
 func RunE12(cfg Config) []E12Row {
 	defer cfg.timeExperiment("e12")()
-	cells := scenario.Matrix()
+	cells := append(scenario.Matrix(), scenario.Variants()...)
 	sc := cfg.scenarioConfig()
 	return runCells(cfg, "e12", len(cells), func(i int) E12Row {
 		return E12Row{scenario.RunCell(cells[i], sc)}
@@ -103,14 +104,26 @@ func RunE12Gen(n int, cfg Config) []E12GenRow {
 // PrintE12 renders the injection matrix as an app x class grid. Cells
 // show the declared outcome and, for failure outcomes, the attempts
 // the replay search needed; cells that missed their declaration print
-// FAIL.
+// FAIL. Epoch-ring variant rows land in "<class>+ring" columns,
+// appended only when variants were driven; apps without a variant for
+// that class print "-".
 func PrintE12(w io.Writer, rows []E12Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
-	classes := scenario.Classes()
+	cols := make([]string, 0, len(scenario.Classes())+2)
+	for _, cl := range scenario.Classes() {
+		cols = append(cols, cl.Name)
+	}
+	ringCols := map[string]bool{}
+	for _, r := range rows {
+		if r.EpochRing && !ringCols[r.Class] {
+			ringCols[r.Class] = true
+			cols = append(cols, r.Class+"+ring")
+		}
+	}
 	fmt.Fprint(tw, "app")
-	for _, cl := range classes {
-		fmt.Fprintf(tw, "\t%s", cl.Name)
+	for _, col := range cols {
+		fmt.Fprintf(tw, "\t%s", col)
 	}
 	fmt.Fprintln(tw)
 	byApp := map[string]map[string]E12Row{}
@@ -120,12 +133,16 @@ func PrintE12(w io.Writer, rows []E12Row) {
 			byApp[r.App] = map[string]E12Row{}
 			order = append(order, r.App)
 		}
-		byApp[r.App][r.Class] = r
+		key := r.Class
+		if r.EpochRing {
+			key += "+ring"
+		}
+		byApp[r.App][key] = r
 	}
 	for _, app := range order {
 		fmt.Fprint(tw, app)
-		for _, cl := range classes {
-			r, ok := byApp[app][cl.Name]
+		for _, col := range cols {
+			r, ok := byApp[app][col]
 			switch {
 			case !ok:
 				fmt.Fprint(tw, "\t-")

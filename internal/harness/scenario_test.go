@@ -13,8 +13,8 @@ func TestRunE12(t *testing.T) {
 		t.Skip("full matrix run")
 	}
 	rows := RunE12(fastCfg)
-	if len(rows) != len(scenario.Matrix()) {
-		t.Fatalf("rows = %d, want one per matrix cell", len(rows))
+	if want := len(scenario.Matrix()) + len(scenario.Variants()); len(rows) != want {
+		t.Fatalf("rows = %d, want one per matrix cell plus variants (%d)", len(rows), want)
 	}
 	for _, r := range rows {
 		if !r.OK() {
@@ -23,7 +23,7 @@ func TestRunE12(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	PrintE12(&buf, rows)
-	for _, needle := range []string{"lock-wedge", "clean", "deadlock/"} {
+	for _, needle := range []string{"lock-wedge", "clean", "deadlock/", "crash+ring", "lock-wedge+ring"} {
 		if !strings.Contains(buf.String(), needle) {
 			t.Fatalf("E12 rendering broken: missing %q in\n%s", needle, buf.String())
 		}

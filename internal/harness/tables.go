@@ -297,6 +297,34 @@ func PrintE11(w io.Writer, rows []E11Row, cfg Config) {
 	}
 }
 
+// PrintE13 renders the epoch-ring sweep: per bug, the baseline row
+// ("off") then one row per epoch length.
+func PrintE13(w io.Writer, rows []E13Row, cfg Config) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "bug\tepoch steps\tepochs\tevicted\tcheckpoints\twindow entries\twindow bytes\tattempts")
+	for _, r := range rows {
+		es := "off"
+		if r.EpochSteps > 0 {
+			es = fmt.Sprintf("%d", r.EpochSteps)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\t%s\tn/a\t-\t-\t-\t-\t-\n", r.Bug, es)
+			continue
+		}
+		att := fmt.Sprintf("%d", r.Attempts)
+		if !r.Reproduced {
+			att = fmt.Sprintf(">%d", cfg.maxAttempts())
+		}
+		epochs := "-"
+		if r.EpochSteps > 0 {
+			epochs = fmt.Sprintf("%d", r.Epochs)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			r.Bug, es, epochs, r.Evicted, r.Checkpoints, r.WindowEntries, r.WindowBytes, att)
+	}
+}
+
 // PrintMetrics renders a metric snapshot as a table — the aggregate
 // observability view presbench appends after its experiment tables
 // when metrics capture is enabled. Histograms are summarized as

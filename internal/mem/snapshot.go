@@ -1,0 +1,30 @@
+package mem
+
+// Checkpoint support: cells, arrays and matrices can capture and
+// re-establish their values without scheduling points. Like Peek/Poke,
+// these never appear in the event stream — they are for checkpoint
+// capture at scheduler quiescent points (epoch seals) and for test
+// oracles, never for application logic.
+
+// Snapshot captures the cell's current value.
+func (c *Cell) Snapshot() uint64 { return c.val }
+
+// Restore re-establishes a snapshotted value.
+func (c *Cell) Restore(v uint64) { c.val = v }
+
+// Snapshot captures the array's current values.
+func (a *Array) Snapshot() []uint64 {
+	return append([]uint64(nil), a.vals...)
+}
+
+// Restore re-establishes snapshotted values; the snapshot must have
+// the array's length (shorter/longer snapshots restore the overlap).
+func (a *Array) Restore(vals []uint64) {
+	copy(a.vals, vals)
+}
+
+// Snapshot captures the matrix's current values in row-major order.
+func (m *Matrix) Snapshot() []uint64 { return m.arr.Snapshot() }
+
+// Restore re-establishes snapshotted row-major values.
+func (m *Matrix) Restore(vals []uint64) { m.arr.Restore(vals) }

@@ -1,0 +1,48 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCellSnapshotRestore(t *testing.T) {
+	c := NewCell("snap.cell", 5)
+	s := c.Snapshot()
+	c.Poke(99)
+	c.Restore(s)
+	if got := c.Peek(); got != 5 {
+		t.Fatalf("restored cell = %d, want 5", got)
+	}
+}
+
+func TestArraySnapshotRestore(t *testing.T) {
+	a := NewArray("snap.arr", 4)
+	for i := 0; i < 4; i++ {
+		a.Poke(i, uint64(i*10))
+	}
+	s := a.Snapshot()
+	a.Poke(2, 999)
+	s[0] = 888 // snapshot must be a copy, not an alias
+	if a.Peek(0) == 888 {
+		t.Fatal("snapshot aliases the array")
+	}
+	a.Restore([]uint64{0, 10, 20, 30})
+	got := []uint64{a.Peek(0), a.Peek(1), a.Peek(2), a.Peek(3)}
+	if !reflect.DeepEqual(got, []uint64{0, 10, 20, 30}) {
+		t.Fatalf("restored array = %v", got)
+	}
+	if !reflect.DeepEqual(s, []uint64{888, 10, 20, 30}) {
+		t.Fatalf("snapshot mutated unexpectedly: %v", s)
+	}
+}
+
+func TestMatrixSnapshotRestore(t *testing.T) {
+	m := NewMatrix("snap.mat", 2, 2)
+	m.Poke(1, 1, 7)
+	s := m.Snapshot()
+	m.Poke(1, 1, 0)
+	m.Restore(s)
+	if got := m.Peek(1, 1); got != 7 {
+		t.Fatalf("restored matrix cell = %d, want 7", got)
+	}
+}

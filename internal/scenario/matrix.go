@@ -68,6 +68,14 @@ type Cell struct {
 	App   string
 	Class string
 	Want  Outcome
+	// EpochRing selects the always-on recording variant of the cell:
+	// the production run records into a bounded epoch ring with
+	// periodic checkpoints (core.Options.EpochRing) and the replay
+	// starts from the newest retained checkpoint
+	// (core.ReplayOptions.FromCheckpoint). The expectation is
+	// unchanged — the injected failure must still be found and
+	// reproduced from the bounded recording.
+	EpochRing bool
 }
 
 // Matrix returns the pinned expectation table: every corpus app
@@ -86,6 +94,31 @@ func Matrix() []Cell {
 		}
 	}
 	return cells
+}
+
+// ringGeometry is the epoch-ring setting the variant cells record
+// under: short epochs (the injected failures land within a few
+// hundred steps), a 4-epoch window, a checkpoint every seal. A cell
+// whose failure predates the first checkpoint falls back to
+// from-start replay — the expectation must hold either way.
+var ringGeometry = core.EpochRingOptions{Steps: 64, Size: 4, CheckpointEvery: 1}
+
+// Variants returns the always-on recording variants: every crash and
+// lock-wedge cell with a failure expectation, re-run with the
+// recording bounded to an epoch ring and replay restarted at the
+// newest retained checkpoint. These two classes are the variants
+// worth pinning: their injected event is deterministic per thread, so
+// a bounded window must not lose it — the discarded prefix is exactly
+// the history the checkpoint replaces.
+func Variants() []Cell {
+	var out []Cell
+	for _, c := range Matrix() {
+		if (c.Class == "crash" || c.Class == "lock-wedge") && c.Want != Clean {
+			c.EpochRing = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // pins is the empirically derived expectation table, row per app in
@@ -185,7 +218,12 @@ func RunCell(cell Cell, cfg Config) CellResult {
 	if m := cfg.Metrics; m != nil {
 		m.Counter("pres_scenario_cells_total", "class", cell.Class).Inc()
 	}
-	seed, rec, err := findOutcome(prog, cl, cell.Want, cfg)
+	var ring *core.EpochRingOptions
+	if cell.EpochRing {
+		g := ringGeometry
+		ring = &g
+	}
+	seed, rec, err := findOutcome(prog, cl, cell.Want, ring, cfg)
 	if err != nil {
 		res.Err = err
 		return res
@@ -196,10 +234,11 @@ func RunCell(cell Cell, cfg Config) CellResult {
 		return res
 	}
 	rep := core.ReplayContext(cfg.ctx(), prog, rec, core.ReplayOptions{
-		Feedback:    true,
-		MaxAttempts: cfg.maxAttempts(),
-		Oracle:      oracleFor(cell.Want, rec.Result.Failure),
-		Metrics:     cfg.Metrics,
+		Feedback:       true,
+		MaxAttempts:    cfg.maxAttempts(),
+		Oracle:         oracleFor(cell.Want, rec.Result.Failure),
+		FromCheckpoint: cell.EpochRing,
+		Metrics:        cfg.Metrics,
 	})
 	res.Attempts, res.Reproduced = rep.Attempts, rep.Reproduced
 	if !rep.Reproduced {
@@ -215,8 +254,9 @@ func RunCell(cell Cell, cfg Config) CellResult {
 }
 
 // findOutcome searches production seeds until prog under the class's
-// injection ends with the wanted outcome.
-func findOutcome(prog *appkit.Program, cl Class, wantOutcome Outcome, cfg Config) (int64, *core.Recording, error) {
+// injection ends with the wanted outcome. A non-nil ring records each
+// probe into an epoch ring (the always-on variant cells).
+func findOutcome(prog *appkit.Program, cl Class, wantOutcome Outcome, ring *core.EpochRingOptions, cfg Config) (int64, *core.Recording, error) {
 	for seed := int64(0); seed < int64(cfg.seedBudget()); seed++ {
 		if err := cfg.ctx().Err(); err != nil {
 			return -1, nil, err
@@ -229,6 +269,7 @@ func findOutcome(prog *appkit.Program, cl Class, wantOutcome Outcome, cfg Config
 			WorldSeed:    cfg.worldSeed(),
 			MaxSteps:     cfg.maxSteps(),
 			Inject:       cl.New,
+			EpochRing:    ring,
 			Metrics:      cfg.Metrics,
 		})
 		if m := cfg.Metrics; m != nil {
@@ -242,10 +283,11 @@ func findOutcome(prog *appkit.Program, cl Class, wantOutcome Outcome, cfg Config
 		prog.Name, cl.Name, wantOutcome, cfg.seedBudget())
 }
 
-// RunMatrix drives every cell sequentially (harness.RunE12 fans the
-// same cells out to its worker pool).
+// RunMatrix drives every cell — the base cross plus the epoch-ring
+// variants — sequentially (harness.RunE12 fans the same cells out to
+// its worker pool).
 func RunMatrix(cfg Config) []CellResult {
-	cells := Matrix()
+	cells := append(Matrix(), Variants()...)
 	out := make([]CellResult, len(cells))
 	for i, c := range cells {
 		out[i] = RunCell(c, cfg)

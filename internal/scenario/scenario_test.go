@@ -40,6 +40,39 @@ func TestMatrix(t *testing.T) {
 	}
 }
 
+// TestVariants drives the epoch-ring variant cells: the same crash and
+// lock-wedge expectations must hold when the recording is bounded to a
+// 4-epoch ring and replay restarts from the newest retained checkpoint.
+// Shape is checked for all variants; a sample is driven end to end (the
+// full set rides along in TestRunE12 and E12).
+func TestVariants(t *testing.T) {
+	variants := Variants()
+	if len(variants) == 0 {
+		t.Fatal("no variant cells")
+	}
+	for _, c := range variants {
+		if !c.EpochRing {
+			t.Fatalf("variant %s/%s missing EpochRing", c.App, c.Class)
+		}
+		if c.Class != "crash" && c.Class != "lock-wedge" {
+			t.Fatalf("variant %s/%s: unexpected class", c.App, c.Class)
+		}
+		if c.Want == Clean {
+			t.Fatalf("variant %s/%s pins a clean outcome", c.App, c.Class)
+		}
+	}
+	cfg := Config{}
+	for _, cell := range []Cell{variants[0], variants[len(variants)/2], variants[len(variants)-1]} {
+		cell := cell
+		t.Run(cell.App+"/"+cell.Class+"+ring", func(t *testing.T) {
+			res := RunCell(cell, cfg)
+			if !res.OK() {
+				t.Fatalf("variant cell failed: %+v", res.Err)
+			}
+		})
+	}
+}
+
 // TestMatrixShape: the matrix covers the full app x class cross with
 // pinned (non-Other) expectations — adding an app or a class without
 // pinning its cells is a test failure, not a silent gap.

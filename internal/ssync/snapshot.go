@@ -1,0 +1,97 @@
+package ssync
+
+import "repro/internal/trace"
+
+// Checkpoint support. Snapshot/Restore capture and re-establish a
+// primitive's ownership state without scheduling points. They are only
+// valid at scheduler quiescent points with no sleeping waiters: waiter
+// lists hold parked *sched.Thread values that belong to one execution
+// and cannot be serialized or transplanted, so primitives that can
+// have waiters expose Quiescent() and their snapshots exclude the
+// waiter lists. Epoch-boundary checkpoints are taken at control
+// transfers, where the holding/counting state below is exactly the
+// state a re-executed prefix must reproduce.
+
+// MutexState is a Mutex snapshot.
+type MutexState struct {
+	Holder     trace.TID
+	HolderName string
+}
+
+// Snapshot captures the mutex's ownership.
+func (m *Mutex) Snapshot() MutexState {
+	return MutexState{Holder: m.holder, HolderName: m.hname}
+}
+
+// Restore re-establishes snapshotted ownership.
+func (m *Mutex) Restore(s MutexState) {
+	m.holder = s.Holder
+	m.hname = s.HolderName
+}
+
+// RWMutexState is an RWMutex snapshot.
+type RWMutexState struct {
+	Readers int
+	Writer  trace.TID
+}
+
+// Snapshot captures the lock's reader count and writer.
+func (m *RWMutex) Snapshot() RWMutexState {
+	return RWMutexState{Readers: m.readers, Writer: m.writer}
+}
+
+// Restore re-establishes snapshotted reader/writer state.
+func (m *RWMutex) Restore(s RWMutexState) {
+	m.readers = s.Readers
+	m.writer = s.Writer
+}
+
+// Snapshot captures the semaphore's count.
+func (s *Semaphore) Snapshot() int { return s.count }
+
+// Restore re-establishes a snapshotted count.
+func (s *Semaphore) Restore(count int) { s.count = count }
+
+// Snapshot captures the wait group's count.
+func (w *WaitGroup) Snapshot() int { return w.count }
+
+// Restore re-establishes a snapshotted count.
+func (w *WaitGroup) Restore(count int) { w.count = count }
+
+// OnceState is a Once snapshot.
+type OnceState struct {
+	Running bool
+	Done    bool
+}
+
+// Snapshot captures the guard's progress.
+func (o *Once) Snapshot() OnceState {
+	return OnceState{Running: o.running, Done: o.done}
+}
+
+// Restore re-establishes snapshotted progress.
+func (o *Once) Restore(s OnceState) {
+	o.running = s.Running
+	o.done = s.Done
+}
+
+// Quiescent reports whether the condition variable has no sleeping
+// waiters — the precondition for snapshotting the primitives around it
+// (a Cond's only state is its waiter list, so there is nothing else to
+// capture).
+func (c *Cond) Quiescent() bool { return len(c.waiters) == 0 }
+
+// Quiescent reports whether the barrier has no parked arrivals; its
+// snapshot is just the generation counter.
+func (b *Barrier) Quiescent() bool { return len(b.waiting) == 0 }
+
+// Snapshot captures the barrier's generation. Valid only when
+// Quiescent reports true.
+func (b *Barrier) Snapshot() uint64 { return b.gen }
+
+// Restore re-establishes a snapshotted generation, clearing any waiter
+// bookkeeping (callers must only restore at quiescent points).
+func (b *Barrier) Restore(gen uint64) {
+	b.gen = gen
+	b.waiting = nil
+}

@@ -1,0 +1,74 @@
+package ssync
+
+import "testing"
+
+func TestMutexSnapshotRestore(t *testing.T) {
+	m := NewMutex("snap.mu")
+	m.holder, m.hname = 3, "worker-3"
+	s := m.Snapshot()
+	m.holder, m.hname = 0, ""
+	m.Restore(s)
+	if m.holder != 3 || m.hname != "worker-3" {
+		t.Fatalf("restored mutex = (%d, %q)", m.holder, m.hname)
+	}
+}
+
+func TestRWMutexSnapshotRestore(t *testing.T) {
+	m := NewRWMutex("snap.rw")
+	m.readers, m.writer = 2, 0
+	s := m.Snapshot()
+	m.readers, m.writer = 0, 5
+	m.Restore(s)
+	if m.readers != 2 || m.writer != 0 {
+		t.Fatalf("restored rwmutex = (%d readers, writer %d)", m.readers, m.writer)
+	}
+}
+
+func TestCountSnapshotRestore(t *testing.T) {
+	sem := NewSemaphore("snap.sem", 4)
+	sem.count = 1
+	s := sem.Snapshot()
+	sem.count = 9
+	sem.Restore(s)
+	if sem.count != 1 {
+		t.Fatalf("restored semaphore count = %d", sem.count)
+	}
+
+	wg := NewWaitGroup("snap.wg")
+	wg.count = 3
+	ws := wg.Snapshot()
+	wg.count = 0
+	wg.Restore(ws)
+	if wg.count != 3 {
+		t.Fatalf("restored waitgroup count = %d", wg.count)
+	}
+}
+
+func TestOnceSnapshotRestore(t *testing.T) {
+	o := NewOnce("snap.once")
+	o.done = true
+	s := o.Snapshot()
+	o.done, o.running = false, true
+	o.Restore(s)
+	if !o.done || o.running {
+		t.Fatalf("restored once = (running=%v, done=%v)", o.running, o.done)
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	c := NewCond("snap.cond")
+	if !c.Quiescent() {
+		t.Fatal("fresh cond not quiescent")
+	}
+	b := NewBarrier("snap.bar", 2)
+	if !b.Quiescent() {
+		t.Fatal("fresh barrier not quiescent")
+	}
+	b.gen = 7
+	s := b.Snapshot()
+	b.gen = 0
+	b.Restore(s)
+	if b.gen != 7 {
+		t.Fatalf("restored barrier gen = %d", b.gen)
+	}
+}

@@ -635,7 +635,12 @@ func DecodeFullOrder(r io.Reader) (*FullOrder, error) {
 	if n > maxDecodeEntries {
 		return nil, fmt.Errorf("%w: %d schedule decisions exceeds sanity limit", ErrBadFormat, n)
 	}
-	f := &FullOrder{Order: make([]TID, 0, min(n, 1<<24))}
+	f := &FullOrder{}
+	if n > 0 {
+		// Leave Order nil for empty traces so round-trips are exact
+		// (DeepEqual distinguishes nil from empty).
+		f.Order = make([]TID, 0, min(n, 1<<24))
+	}
 	prevTID := TID(0)
 	for uint64(len(f.Order)) < n {
 		raw, err := binary.ReadUvarint(br)

@@ -1,0 +1,135 @@
+package vsys
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSnapshotRestoreRoundTrip snapshots a mutated world, keeps
+// mutating, restores, and checks every observable axis came back:
+// digest equality, file bytes, queue contents, clock and the random
+// stream position.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	w := NewWorld(42)
+	w.SeedFile("data.log", []byte("hello"))
+	q := w.NewQueue("reqs")
+	q.msgs = [][]byte{[]byte("a"), []byte("b")}
+	w.clock = 100
+	w.randU64()
+	w.randU64()
+
+	snap := w.Snapshot()
+	want := w.Digest()
+	wantDraw := w.randU64() // next value in the stream after the snapshot
+
+	// Mutate everything the snapshot covers.
+	w.clock = 999
+	w.fs["data.log"].data = []byte("clobbered")
+	w.SeedFile("extra.log", []byte("new"))
+	q.msgs = nil
+	q.closed = true
+	w.NewQueue("extra-q")
+	w.randU64()
+	w.randU64()
+
+	if err := w.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := w.Digest(); got != want {
+		t.Fatalf("digest after restore = %#x, want %#x", got, want)
+	}
+	if w.clock != 100 {
+		t.Fatalf("clock = %d, want 100", w.clock)
+	}
+	if got := w.fs["data.log"].data; !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("file data = %q, want %q", got, "hello")
+	}
+	if _, ok := w.fs["extra.log"]; ok {
+		t.Fatal("file created after snapshot survived restore")
+	}
+	if _, ok := w.qs["extra-q"]; ok {
+		t.Fatal("queue created after snapshot survived restore")
+	}
+	if q.closed || len(q.msgs) != 2 || !bytes.Equal(q.msgs[0], []byte("a")) {
+		t.Fatalf("queue state not restored: closed=%v msgs=%q", q.closed, q.msgs)
+	}
+	if got := w.randU64(); got != wantDraw {
+		t.Fatalf("rng draw after restore = %#x, want %#x", got, wantDraw)
+	}
+}
+
+// TestSnapshotRestoreInPlace pins the aliasing contract: application
+// code holds *file (via FD) and *Queue pointers across a restore, so
+// Restore must mutate the existing objects rather than replace them.
+func TestSnapshotRestoreInPlace(t *testing.T) {
+	w := NewWorld(1)
+	w.SeedFile("f", []byte("x"))
+	fptr := w.fs["f"]
+	qptr := w.NewQueue("q")
+
+	snap := w.Snapshot()
+	fptr.data = []byte("mutated")
+	qptr.msgs = append(qptr.msgs, []byte("m"))
+	if err := w.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if w.fs["f"] != fptr {
+		t.Fatal("restore replaced the file object instead of mutating it")
+	}
+	if w.qs["q"] != qptr {
+		t.Fatal("restore replaced the queue object instead of mutating it")
+	}
+	if !bytes.Equal(fptr.data, []byte("x")) || len(qptr.msgs) != 0 {
+		t.Fatalf("held pointers see stale state: file=%q msgs=%d", fptr.data, len(qptr.msgs))
+	}
+}
+
+// TestSnapshotReplayCursor checks a replay-mode world's per-thread
+// input cursors round-trip: after restore, each thread resumes its
+// logged input sequence from the snapshotted position.
+func TestSnapshotReplayCursor(t *testing.T) {
+	log := &trace.InputLog{}
+	for i := uint64(0); i < 4; i++ {
+		log.Append(trace.InputRecord{TID: 1, Call: CallRand, Data: encodeU64(100 + i)})
+	}
+	log.Append(trace.InputRecord{TID: 2, Call: CallNow, Data: encodeU64(777)})
+
+	w := NewWorld(7)
+	w.StartReplay(log)
+	if got := w.input(1, CallRand, func() uint64 { return 0 }); got != 100 {
+		t.Fatalf("first replay input = %d, want 100", got)
+	}
+	snap := w.Snapshot()
+
+	// Consume past the boundary, then restore.
+	w.input(1, CallRand, func() uint64 { return 0 })
+	w.input(1, CallRand, func() uint64 { return 0 })
+	w.input(2, CallNow, func() uint64 { return 0 })
+	if err := w.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := w.input(1, CallRand, func() uint64 { return 0 }); got != 101 {
+		t.Fatalf("post-restore input = %d, want 101", got)
+	}
+	if got := w.input(2, CallNow, func() uint64 { return 0 }); got != 777 {
+		t.Fatalf("post-restore tid-2 input = %d, want 777", got)
+	}
+}
+
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	w := NewWorld(3)
+	if err := w.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	snap := w.Snapshot()
+	for _, n := range []int{0, 2, len(snap) - 1} {
+		if err := w.Restore(snap[:n]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", n)
+		}
+	}
+	if err := w.Restore(snap); err != nil {
+		t.Fatalf("valid snapshot rejected after failed restores: %v", err)
+	}
+}

@@ -96,6 +96,8 @@ type World struct {
 	cursor map[inputKey][]int // per-(thread,call) FIFO of log indices
 
 	clock uint64
+	seed  int64
+	draws uint64 // random values drawn, for snapshot fast-forward
 	rng   *rand.Rand
 	fs    map[string]*file
 	qs    map[string]*Queue
@@ -104,10 +106,18 @@ type World struct {
 // NewWorld returns a live-mode world whose random source uses seed.
 func NewWorld(seed int64) *World {
 	return &World{
-		rng: rand.New(rand.NewSource(seed)),
-		fs:  make(map[string]*file),
-		qs:  make(map[string]*Queue),
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		fs:   make(map[string]*file),
+		qs:   make(map[string]*Queue),
 	}
+}
+
+// randU64 draws from the world's random source, counting draws so a
+// snapshot can record the stream position.
+func (w *World) randU64() uint64 {
+	w.draws++
+	return w.rng.Uint64()
 }
 
 // StartRecording switches the world to Record mode, appending inputs to
@@ -122,10 +132,27 @@ func (w *World) StartRecording(log *trace.InputLog) {
 // attempts with different interleavings still hand each thread the same
 // input sequence it saw during production.
 func (w *World) StartReplay(log *trace.InputLog) {
+	w.StartReplayFrom(log, 0)
+}
+
+// StartReplayFrom switches the world to Replay mode serving only the
+// log's records from index `from` on. This is the seam checkpointed
+// replay flips mid-run: the prefix re-executes in Live mode — the same
+// world seed regenerates the recorded inputs deterministically, with
+// the blocking enabledness the production run saw (Replay mode enables
+// a blocked call as soon as a logged input exists, which would let
+// e.g. a queue Recv run before its Send and diverge the prefix) — and
+// from the validated boundary on, the remaining logged inputs are
+// served exactly as a replay from the start would serve them.
+func (w *World) StartReplayFrom(log *trace.InputLog, from int) {
 	w.mode = Replay
 	w.log = log
 	w.cursor = make(map[inputKey][]int)
-	for i, r := range log.Records {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < len(log.Records); i++ {
+		r := log.Records[i]
 		k := inputKey{r.TID, r.Call}
 		w.cursor[k] = append(w.cursor[k], i)
 	}
@@ -248,7 +275,7 @@ func (w *World) Rand(t *sched.Thread) uint64 {
 		Desc: "sys rand",
 		Cost: 4 * trace.CostUnit,
 		Effect: func(ctx *sched.EffectCtx) {
-			v = w.input(t.ID(), CallRand, w.rng.Uint64)
+			v = w.input(t.ID(), CallRand, w.randU64)
 			ctx.Ev.Arg = v
 		},
 	}

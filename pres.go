@@ -131,6 +131,10 @@ const (
 	RW   = sketch.RW
 )
 
+// DefaultEpochSteps is the epoch length used when EpochRingOptions
+// leaves Steps zero.
+const DefaultEpochSteps = core.DefaultEpochSteps
+
 // Schemes lists every sketching mechanism, cheapest first.
 func Schemes() []Scheme { return sketch.All() }
 
@@ -141,6 +145,11 @@ var ParseScheme = sketch.Parse
 type (
 	// Options parameterizes a production run.
 	Options = core.Options
+	// EpochRingOptions selects always-on recording (set Options.EpochRing):
+	// the sketch is sealed into fixed-length epochs kept in a bounded
+	// ring, with periodic world checkpoints replay can restart from (set
+	// ReplayOptions.FromCheckpoint).
+	EpochRingOptions = core.EpochRingOptions
 	// Recording holds a production run's sketch, input log and outcome.
 	Recording = core.Recording
 	// ReplayOptions parameterizes the intelligent replayer.
