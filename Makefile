@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test bench stress scenarios fuzz-short docs-drift
+.PHONY: check build vet lint test bench bench-compare stress scenarios fuzz-short docs-drift
 
 ## check: the full gate — build everything, lint (gofmt + vet), verify
 ## the metric docs are in sync, test under -race (including the
@@ -13,9 +13,13 @@ FUZZTIME ?= 30s
 ## the failure-injection matrix and generator sweep, and give every
 ## fuzz target a short budget (which includes the per-thread merge
 ## fuzzer FuzzShardMergeRoundTrip and the scenario-generator
-## round-tripper FuzzScenarioGen).
+## round-tripper FuzzScenarioGen). The bench comparison is advisory
+## here (the leading -): recorded BENCH numbers came from whatever
+## host wrote them, so a drift warning must not fail an unrelated
+## change — run bench-compare directly for the enforcing exit code.
 check: build lint docs-drift stress scenarios fuzz-short
 	$(GO) test -race ./...
+	-$(GO) run ./cmd/benchcmp
 
 build:
 	$(GO) build ./...
@@ -76,13 +80,20 @@ fuzz-short:
 ## numbers — encode bytes/entry and ns/entry per scheme v1 vs v2,
 ## E2/E8 matrix wall-clock at -j1 vs -j GOMAXPROCS, the run-grant
 ## fast path's per-app steps/sec, handoffs/step, and allocs/step
-## before vs after, the record path's global-log vs per-thread-log
-## fleet throughput across a GOMAXPROCS sweep, and the always-on
-## record path's epoch-ring-off vs epoch-ring-on before/after — into
-## BENCH_pr9.json.
+## before vs after (at each -procs setting), the record path's
+## global-log vs per-thread-log fleet throughput across the -procs
+## sweep, the always-on record path's epoch-ring-off vs epoch-ring-on
+## before/after, and the replay search's prefix-snapshots-off vs -on
+## step-work comparison per bug and policy — into BENCH_pr10.json.
 bench:
 	$(GO) test -run TestSchedGrantLoopAllocFree -bench . -benchtime 1s .
-	$(GO) run ./cmd/presperf -out BENCH_pr9.json
+	$(GO) run ./cmd/presperf -out BENCH_pr10.json -procs 1,2,4
+
+## bench-compare: diff the two newest BENCH_*.json reports (presperf
+## output) and fail if a shared headline — per-app best steps/sec,
+## per-scheme encoded bytes/entry — regressed by more than 10%.
+bench-compare:
+	$(GO) run ./cmd/benchcmp
 
 ## docs-drift: every pres_-prefixed metric name registered anywhere in
 ## the source (internal/obs wiring in sched/core/harness/cmd) must have

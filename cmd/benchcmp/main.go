@@ -1,0 +1,159 @@
+// Benchcmp guards the repo's recorded performance numbers: it finds
+// the two newest BENCH_*.json reports (presperf output) in a
+// directory, treats the older as the baseline and the newer as the
+// candidate, and fails when a shared headline regresses by more than
+// the threshold.
+//
+// Compared headlines:
+//
+//   - sched: per app, the best after_steps_per_sec across the report's
+//     GOMAXPROCS settings (older reports carry one unlabelled setting
+//     per app; grouping by app and taking the max reads both shapes);
+//   - encode: per scheme, v2_bytes_per_entry (lower is better).
+//
+// Apps or schemes present in only one report are skipped — the gate
+// compares what both reports measured, it does not demand identical
+// coverage. With fewer than two reports there is nothing to compare
+// and the tool exits 0, so a fresh clone passes `make check`.
+//
+// Usage:
+//
+//	benchcmp -dir . -threshold 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+type benchReport struct {
+	Tool  string `json:"tool"`
+	Sched []struct {
+		App              string  `json:"app"`
+		AfterStepsPerSec float64 `json:"after_steps_per_sec"`
+	} `json:"sched"`
+	Encode []struct {
+		Scheme          string  `json:"scheme"`
+		V2BytesPerEntry float64 `json:"v2_bytes_per_entry"`
+	} `json:"encode"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json reports")
+	threshold := flag.Float64("threshold", 10, "regression tolerance in percent")
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) < 2 {
+		fmt.Printf("benchcmp: %d report(s) in %s — nothing to compare\n", len(paths), *dir)
+		return
+	}
+	sort.Slice(paths, func(i, j int) bool { return mtime(paths[i]).Before(mtime(paths[j])) })
+	basePath, curPath := paths[len(paths)-2], paths[len(paths)-1]
+	base, cur := load(basePath), load(curPath)
+	fmt.Printf("benchcmp: baseline %s, candidate %s, threshold %.0f%%\n",
+		filepath.Base(basePath), filepath.Base(curPath), *threshold)
+
+	regressions := 0
+	compared := 0
+	check := func(kind, name string, baseVal, curVal float64, lowerBetter bool) {
+		if baseVal <= 0 || curVal <= 0 {
+			return
+		}
+		compared++
+		deltaPct := 100 * (curVal/baseVal - 1)
+		bad := deltaPct < -*threshold
+		if lowerBetter {
+			bad = deltaPct > *threshold
+		}
+		if bad {
+			regressions++
+			fmt.Printf("REGRESSION %-6s %-14s %.4g -> %.4g (%+.1f%%)\n", kind, name, baseVal, curVal, deltaPct)
+		} else {
+			fmt.Printf("ok         %-6s %-14s %.4g -> %.4g (%+.1f%%)\n", kind, name, baseVal, curVal, deltaPct)
+		}
+	}
+
+	baseSched, curSched := bestSched(base), bestSched(cur)
+	for _, app := range sortedKeys(baseSched) {
+		if curVal, ok := curSched[app]; ok {
+			check("sched", app, baseSched[app], curVal, false)
+		}
+	}
+	baseEnc, curEnc := encBytes(base), encBytes(cur)
+	for _, scheme := range sortedKeys(baseEnc) {
+		if curVal, ok := curEnc[scheme]; ok {
+			check("encode", scheme, baseEnc[scheme], curVal, true)
+		}
+	}
+
+	if compared == 0 {
+		fmt.Println("benchcmp: reports share no comparable rows")
+		return
+	}
+	if regressions > 0 {
+		log.Fatalf("%d of %d compared headline(s) regressed beyond %.0f%%", regressions, compared, *threshold)
+	}
+	fmt.Printf("benchcmp: %d headline(s) within %.0f%%\n", compared, *threshold)
+}
+
+func mtime(path string) time.Time {
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fi.ModTime()
+}
+
+func load(path string) *benchReport {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return &r
+}
+
+// bestSched reduces a report's sched section to the best
+// after_steps_per_sec per app — the max over however many GOMAXPROCS
+// settings the report recorded for it.
+func bestSched(r *benchReport) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range r.Sched {
+		if s.AfterStepsPerSec > out[s.App] {
+			out[s.App] = s.AfterStepsPerSec
+		}
+	}
+	return out
+}
+
+func encBytes(r *benchReport) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Encode {
+		out[e.Scheme] = e.V2BytesPerEntry
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

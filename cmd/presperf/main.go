@@ -1,5 +1,5 @@
 // Presperf measures the repo's performance claims and writes them to a
-// JSON file (BENCH_pr9.json via the Makefile bench target):
+// JSON file (BENCH_pr10.json via the Makefile bench target):
 //
 //  1. sketch-encoder density and speed per scheme, v1 vs v2, on a real
 //     recorded mysqld production run;
@@ -22,13 +22,25 @@
 //     epoch ring off (classic whole-execution log) vs on (bounded ring
 //     with periodic world checkpoints) — real steps/sec, modelled
 //     overhead, and the retained-window size each way.
+//  6. the replay search with prefix snapshots off vs on
+//     (ReplayOptions.PrefixSnapshots): per bug, per policy (the paper's
+//     feedback search and the pure-directed frontier walk), a seed scan
+//     finds a buggy production recording and both searches reproduce it
+//     at Workers: 1 — identical trajectories by construction, so the
+//     comparison is pure work: total steps, the fast-forwarded prefix
+//     steps restores skipped, the enforced remainder, and the snapshot
+//     cache's hit/miss/byte/eviction counters.
+//
+// Sections 3 and 4 run once per -procs setting (comma-separated
+// GOMAXPROCS values): section 3 repeats its per-app before/after runs
+// at each setting, section 4 sweeps its recording fleet across them.
 //
 // The report header records the host the numbers were taken on
 // (GOMAXPROCS, CPU count, OS/arch, Go version, hostname).
 //
 // Usage:
 //
-//	presperf -out BENCH_pr9.json
+//	presperf -out BENCH_pr10.json -procs 1,2,4
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/sketch"
 	"repro/internal/trace"
 )
@@ -78,6 +91,7 @@ type harnessResult struct {
 
 type schedResult struct {
 	App                   string  `json:"app"`
+	Procs                 int     `json:"gomaxprocs,omitempty"`
 	BeforeSteps           uint64  `json:"before_steps"`
 	AfterSteps            uint64  `json:"after_steps"`
 	BeforeStepsPerSec     float64 `json:"before_steps_per_sec"`
@@ -113,6 +127,31 @@ type recordResult struct {
 	PerThreadSpeedup float64            `json:"gomaxprocs_speedup_per_thread"`
 }
 
+// replaySearchResult is one (bug, policy) cell of the snapshot-tree
+// comparison: the same Workers:1 search with prefix snapshots off and
+// on. The trajectories are pinned identical (the snapshot property
+// tests), so OffSteps == OnSteps and the work saved is exactly
+// OnFastForward — prefix steps replayed mechanically from a snapshot
+// instead of re-searched. StepReduction = OffSteps / OnEnforced is the
+// bench's headline: how much search work one reproduction no longer
+// re-executes.
+type replaySearchResult struct {
+	App             string  `json:"app"`
+	Scheme          string  `json:"scheme"`
+	Policy          string  `json:"policy"`
+	Reproduced      bool    `json:"reproduced"`
+	Attempts        int     `json:"attempts"`
+	OffSteps        uint64  `json:"off_steps"`
+	OnSteps         uint64  `json:"on_steps"`
+	OnFastForward   uint64  `json:"on_fastforward_steps"`
+	OnEnforced      uint64  `json:"on_enforced_steps"`
+	StepReduction   float64 `json:"step_reduction"`
+	SnapshotHits    int     `json:"snapshot_hits"`
+	SnapshotMisses  int     `json:"snapshot_misses"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	SnapshotEvicted int     `json:"snapshot_evicted"`
+}
+
 // epochRecordResult is the always-on record path, epoch ring off vs
 // on, for one app: real recording throughput, the modelled overhead,
 // and what the bounded window retains.
@@ -135,18 +174,19 @@ type epochRecordResult struct {
 }
 
 type report struct {
-	Tool       string              `json:"tool"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
-	GoVersion  string              `json:"go_version"`
-	GOOS       string              `json:"goos"`
-	GOARCH     string              `json:"goarch"`
-	Hostname   string              `json:"hostname,omitempty"`
-	Encode     []encodeResult      `json:"encode"`
-	Harness    []harnessResult     `json:"harness"`
-	Sched      []schedResult       `json:"sched"`
-	Record     []recordResult      `json:"record"`
-	EpochRing  []epochRecordResult `json:"epoch_ring"`
+	Tool         string               `json:"tool"`
+	GoMaxProcs   int                  `json:"gomaxprocs"`
+	NumCPU       int                  `json:"num_cpu"`
+	GoVersion    string               `json:"go_version"`
+	GOOS         string               `json:"goos"`
+	GOARCH       string               `json:"goarch"`
+	Hostname     string               `json:"hostname,omitempty"`
+	Encode       []encodeResult       `json:"encode"`
+	Harness      []harnessResult      `json:"harness"`
+	Sched        []schedResult        `json:"sched"`
+	Record       []recordResult       `json:"record"`
+	EpochRing    []epochRecordResult  `json:"epoch_ring"`
+	ReplaySearch []replaySearchResult `json:"replay_search"`
 }
 
 // countWriter measures encoded size without retaining bytes.
@@ -160,12 +200,18 @@ func (w *countWriter) Write(p []byte) (int, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("presperf: ")
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path")
 	scale := flag.Int("scale", 400, "workload scale for the recorded run")
 	overheadScale := flag.Int("overhead-scale", 150, "workload scale for the harness matrix timing")
 	schedScale := flag.Int("sched-scale", 300, "workload scale for the fast-path before/after runs")
 	reps := flag.Int("reps", 3, "timing repetitions (best-of)")
+	procsFlag := flag.String("procs", "1,2,4", "comma-separated GOMAXPROCS settings for the sched and record sections")
 	flag.Parse()
+
+	procsList, err := parseProcs(*procsFlag)
+	if err != nil {
+		log.Fatalf("-procs %q: %v", *procsFlag, err)
+	}
 
 	rep := report{
 		Tool:       "presperf",
@@ -232,14 +278,20 @@ func main() {
 		}),
 	)
 
-	for _, prog := range apps.All() {
-		r := timeSched(prog, *schedScale, *reps)
-		rep.Sched = append(rep.Sched, r)
-		fmt.Printf("sched %-13s %6.2fx steps/s (%.2fM -> %.2fM)  handoffs/step %.3f -> %.3f  allocs/step %.2f -> %.2f  fastpath %.0f%%\n",
-			r.App, r.Speedup, r.BeforeStepsPerSec/1e6, r.AfterStepsPerSec/1e6,
-			r.BeforeHandoffsPerStep, r.AfterHandoffsPerStep,
-			r.BeforeAllocsPerStep, r.AfterAllocsPerStep, 100*r.FastPathStepFrac)
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, p := range procsList {
+		runtime.GOMAXPROCS(p)
+		for _, prog := range apps.All() {
+			r := timeSched(prog, *schedScale, *reps)
+			r.Procs = p
+			rep.Sched = append(rep.Sched, r)
+			fmt.Printf("sched %-13s @%dprocs %6.2fx steps/s (%.2fM -> %.2fM)  handoffs/step %.3f -> %.3f  allocs/step %.2f -> %.2f  fastpath %.0f%%\n",
+				r.App, p, r.Speedup, r.BeforeStepsPerSec/1e6, r.AfterStepsPerSec/1e6,
+				r.BeforeHandoffsPerStep, r.AfterHandoffsPerStep,
+				r.BeforeAllocsPerStep, r.AfterAllocsPerStep, 100*r.FastPathStepFrac)
+		}
 	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Record path, global vs per-thread logs: compute kernels record RW
 	// (the dense sketch the per-thread log exists for); the server/
@@ -258,7 +310,7 @@ func main() {
 		if !ok {
 			log.Fatalf("%s not in corpus", rc.app)
 		}
-		r := timeRecordFleet(prog, rc.scheme, *schedScale, *reps)
+		r := timeRecordFleet(prog, rc.scheme, *schedScale, *reps, procsList)
 		rep.Record = append(rep.Record, r)
 		last := r.Sweep[len(r.Sweep)-1]
 		fmt.Printf("record %-9s %-4s fleet=%d  @%dprocs %.2fM -> %.2fM steps/s  scaling x%.2f/x%.2f  overhead %.1f%% -> %.1f%%  seals=%d identical=%v\n",
@@ -291,6 +343,43 @@ func main() {
 			r.App, r.Scheme, r.ClassicStepsPerSec/1e6, r.RingStepsPerSec/1e6, r.RingCostPct,
 			r.ClassicOverheadPct, r.RingOverheadPct,
 			r.WindowEntries, r.TotalEntries, r.Epochs, r.Evicted, r.Checkpoints)
+	}
+
+	// Replay search, prefix snapshots off vs on. pbzip2-order runs the
+	// feedback policy only: its pure-directed walk exhausts the attempt
+	// budget without reproducing, which measures nothing.
+	for _, rc := range []struct {
+		bug      string
+		scheme   sketch.Scheme
+		directed bool
+	}{
+		{"mysql-169", sketch.SYNC, true},
+		{"mysql-791", sketch.SYNC, true},
+		{"apache-25520", sketch.SYNC, true},
+		{"cherokee-326", sketch.SYNC, true},
+		{"barnes-order", sketch.FUNC, true},
+		{"transmission-1818", sketch.SYNC, true},
+		{"pbzip2-order", sketch.SYS, false},
+	} {
+		rec := recordBuggy(rc.bug, rc.scheme)
+		pols := []struct {
+			name string
+			pol  search.Policy
+		}{{"feedback", search.FeedbackDirected{}}}
+		if rc.directed {
+			pols = append(pols, struct {
+				name string
+				pol  search.Policy
+			}{"directed", search.PureDirected{}})
+		}
+		for _, pc := range pols {
+			r := timeReplaySearch(rc.bug, rc.scheme, pc.name, pc.pol, rec)
+			rep.ReplaySearch = append(rep.ReplaySearch, r)
+			fmt.Printf("replay-search %-18s %-4s %-8s repro=%v attempts=%d  steps %d -> enforced %d (ff %d)  reduction %.2fx  snaps hit/miss %d/%d  %0.1f MiB (%d evicted)\n",
+				r.App, r.Scheme, r.Policy, r.Reproduced, r.Attempts,
+				r.OffSteps, r.OnEnforced, r.OnFastForward, r.StepReduction,
+				r.SnapshotHits, r.SnapshotMisses, float64(r.SnapshotBytes)/(1<<20), r.SnapshotEvicted)
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -392,13 +481,13 @@ func measureRecord(prog *appkit.Program, opts core.Options, reps int) (uint64, f
 
 // timeRecordFleet measures the record path the way production runs it:
 // a fleet of concurrent recordings (independent seeds, one goroutine
-// each) sharing one machine. For each GOMAXPROCS in {1, 2, 4, ...}
-// up to max(NumCPU, 4) it times the whole fleet in global-log and
+// each) sharing one machine. For each GOMAXPROCS in procsList (the
+// -procs flag) it times the whole fleet in global-log and
 // per-thread-log modes (best-of-reps) and reports aggregate steps/sec;
 // the sweep shows real scaling only on hosts with that many physical
 // cores. One untimed pair per app also yields the modelled overheads,
 // the epoch-seal count and a byte-identity check on the recordings.
-func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int) recordResult {
+func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int, procsList []int) recordResult {
 	opts := core.Options{
 		Scheme:       scheme,
 		Processors:   4,
@@ -436,11 +525,10 @@ func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int
 		}
 	}
 
-	maxProcs := runtime.NumCPU()
-	if maxProcs < 4 {
-		maxProcs = 4
+	fleet := runtime.NumCPU()
+	if fleet < 4 {
+		fleet = 4
 	}
-	fleet := maxProcs
 	if fleet > 8 {
 		fleet = 8
 	}
@@ -474,23 +562,13 @@ func timeRecordFleet(prog *appkit.Program, scheme sketch.Scheme, scale, reps int
 
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
-	for procs := 1; ; procs *= 2 {
-		if procs > maxProcs {
-			if p := maxProcs; r.Sweep[len(r.Sweep)-1].Procs != p {
-				procs = p // close the sweep at the exact core count
-			} else {
-				break
-			}
-		}
+	for _, procs := range procsList {
 		runtime.GOMAXPROCS(procs)
 		r.Sweep = append(r.Sweep, recordSweepPoint{
 			Procs:                procs,
 			GlobalStepsPerSec:    bestOf(opts),
 			PerThreadStepsPerSec: bestOf(shardOpts),
 		})
-		if procs == maxProcs {
-			break
-		}
 	}
 	first, last := r.Sweep[0], r.Sweep[len(r.Sweep)-1]
 	r.GlobalSpeedup = last.GlobalStepsPerSec / first.GlobalStepsPerSec
@@ -541,6 +619,82 @@ func timeEpochRecord(prog *appkit.Program, scheme sketch.Scheme, scale, reps int
 	_, r.ClassicStepsPerSec, _, _ = measureRecord(prog, opts, reps)
 	_, r.RingStepsPerSec, _, _ = measureRecord(prog, ringOpts, reps)
 	r.RingCostPct = 100 * (r.ClassicStepsPerSec/r.RingStepsPerSec - 1)
+	return r
+}
+
+// parseProcs parses the -procs flag: a comma-separated, strictly
+// increasing list of positive GOMAXPROCS settings.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &p); err != nil || p < 1 {
+			return nil, fmt.Errorf("bad GOMAXPROCS value %q", part)
+		}
+		if len(out) > 0 && p <= out[len(out)-1] {
+			return nil, fmt.Errorf("values must strictly increase (%d after %d)", p, out[len(out)-1])
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// recordBuggy scans production seeds until the target bug manifests —
+// the same discipline the replay tests use to obtain a recording worth
+// searching from.
+func recordBuggy(bug string, scheme sketch.Scheme) *core.Recording {
+	prog, ok := apps.ProgramForBug(bug)
+	if !ok {
+		log.Fatalf("%s not in corpus", bug)
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		rec := core.Record(prog, core.Options{
+			Scheme:       scheme,
+			Processors:   4,
+			ScheduleSeed: seed,
+			WorldSeed:    1,
+			MaxSteps:     200_000,
+		})
+		if rec.BugFailure() != nil {
+			return rec
+		}
+	}
+	log.Fatalf("%s: bug never manifested in 500 production seeds", bug)
+	return nil
+}
+
+// timeReplaySearch runs one bug's Workers:1 reproduction search twice —
+// prefix snapshots off, then on — and reports the step-work comparison.
+// The off run's trajectory is the baseline; the property tests pin the
+// on run to the identical trajectory, so OffSteps == OnSteps whenever
+// both reproduce and the only delta is how many of those steps were
+// fast-forwarded from a snapshot instead of re-searched.
+func timeReplaySearch(bug string, scheme sketch.Scheme, polName string, pol search.Policy, rec *core.Recording) replaySearchResult {
+	prog, _ := apps.ProgramForBug(bug)
+	base := core.ReplayOptions{
+		Feedback: true, Policy: pol, Oracle: core.MatchBugID(bug), Workers: 1,
+	}
+	off := core.Replay(prog, rec, base)
+	on := base
+	on.PrefixSnapshots = true
+	got := core.Replay(prog, rec, on)
+
+	r := replaySearchResult{
+		App: bug, Scheme: scheme.String(), Policy: polName,
+		Reproduced:      off.Reproduced && got.Reproduced,
+		Attempts:        got.Attempts,
+		OffSteps:        off.Stats.Steps,
+		OnSteps:         got.Stats.Steps,
+		OnFastForward:   got.Stats.FastForwardSteps,
+		OnEnforced:      got.Stats.Steps - got.Stats.FastForwardSteps,
+		SnapshotHits:    got.Stats.SnapshotHits,
+		SnapshotMisses:  got.Stats.SnapshotMisses,
+		SnapshotBytes:   got.Stats.SnapshotBytes,
+		SnapshotEvicted: got.Stats.SnapshotEvicted,
+	}
+	if r.OnEnforced > 0 {
+		r.StepReduction = float64(r.OffSteps) / float64(r.OnEnforced)
+	}
 	return r
 }
 

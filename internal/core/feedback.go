@@ -17,10 +17,14 @@ import (
 // replayNode is one point in the directed search tree: a flip set plus
 // the race keys its parent attempt observed — feedback prioritizes races
 // a node's deviation *created*, which localize the next flip to the
-// perturbed neighborhood.
+// perturbed neighborhood. With PrefixSnapshots on, parentKey names the
+// parent attempt's snapshot-cache prefix and bound upper-bounds the
+// snapshot probe at the added flip's first access (snapshot.go).
 type replayNode struct {
 	fs          flipSet
 	parentRaces map[string]bool
+	parentKey   string
+	bound       uint64
 }
 
 // appendChildren ranks a failed directed attempt's races and pushes
@@ -41,6 +45,10 @@ func (s *searchState) appendChildren(nd replayNode, out attemptOutcome) int {
 		return 0 // deep chains are noise; let siblings run
 	}
 	failTID := s.failTID
+	var pk string
+	if s.snaps != nil {
+		pk = snapKey(s.digest, canonicalFlipKey(nd.fs))
+	}
 	myRaces := make(map[string]bool, len(out.races))
 	for _, p := range out.races {
 		myRaces[p.Key()] = true
@@ -92,7 +100,8 @@ func (s *searchState) appendChildren(nd replayNode, out attemptOutcome) int {
 			if !fresh {
 				oldSlots--
 			}
-			s.frontier.Push(replayNode{fs: child, parentRaces: myRaces}, len(child.flips))
+			s.frontier.Push(replayNode{fs: child, parentRaces: myRaces,
+				parentKey: pk, bound: p.FirstSeq}, len(child.flips))
 			added++
 		}
 	}

@@ -32,13 +32,13 @@ func TestReplayParallelMatchesSequential(t *testing.T) {
 func TestReplayWorkersOneDeterministic(t *testing.T) {
 	// Workers: 1 is the deterministic baseline: dispatch, execution and
 	// commit strictly alternate, so the search is a pure function of its
-	// inputs — two runs must agree bit for bit, and the legacy
-	// Parallelism field must select the same engine.
+	// inputs — two runs must agree bit for bit, and the zero value must
+	// select the same sequential engine.
 	prog := atomBugProg(3)
 	rec := recordBuggy(t, prog, sketch.SYNC)
 	a := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1})
 	b := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Workers: 1})
-	c := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug"), Parallelism: 1})
+	c := Replay(prog, rec, ReplayOptions{Feedback: true, Oracle: MatchBugID("atom-bug")})
 	if !a.Reproduced {
 		t.Fatalf("search failed: attempts=%d stats=%+v", a.Attempts, a.Stats)
 	}
@@ -46,7 +46,7 @@ func TestReplayWorkersOneDeterministic(t *testing.T) {
 		t.Fatalf("same inputs, different results:\na: %+v\nb: %+v", a, b)
 	}
 	if !reflect.DeepEqual(a, c) {
-		t.Fatalf("Parallelism: 1 diverged from Workers: 1:\na: %+v\nc: %+v", a, c)
+		t.Fatalf("zero-value Workers diverged from Workers: 1:\na: %+v\nc: %+v", a, c)
 	}
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sched"
+	"repro/internal/sketch"
+)
+
+// TestSnapshotStressEviction hammers the snapshot cache's concurrent
+// surface under the race detector: eight workers capture into a budget
+// sized to hold only about two snapshots, so every Store races Best
+// calls and evicts entries other attempts may still be restoring from.
+// Evicted snapshots must stay safe to use — the cache drops its
+// reference, never mutates the snapshot — and the search itself must
+// stay well-formed to its attempt budget.
+func TestSnapshotStressEviction(t *testing.T) {
+	prog, ok := apps.ProgramForBug("mysql-169")
+	if !ok {
+		t.Fatal("mysql-169 not in corpus")
+	}
+	rec := recordBuggy(t, prog, sketch.SYNC)
+	never := func(*sched.Failure) bool { return false }
+
+	// Probe with the default budget to learn this workload's snapshot
+	// size, then rerun with room for only ~2 so eviction churns.
+	probe := Replay(prog, rec, ReplayOptions{
+		Feedback: true, Oracle: never, MaxAttempts: 12, Workers: 1,
+		PrefixSnapshots: true,
+	})
+	if probe.Stats.SnapshotCaptures == 0 {
+		t.Fatalf("probe run captured no snapshots: %+v", probe.Stats)
+	}
+	budget := 2 * probe.Stats.SnapshotBytes / int64(probe.Stats.SnapshotCaptures)
+
+	res := Replay(prog, rec, ReplayOptions{
+		Feedback: true, Oracle: never, MaxAttempts: 40, Workers: 8,
+		PrefixSnapshots: true, SnapshotBudgetBytes: budget,
+	})
+	if res.Reproduced {
+		t.Fatal("oracle never matches but search reproduced")
+	}
+	if res.Attempts != 40 {
+		t.Fatalf("search stopped after %d attempts, want the full 40", res.Attempts)
+	}
+	if res.Stats.SnapshotCaptures == 0 {
+		t.Fatalf("no snapshots captured under stress: %+v", res.Stats)
+	}
+	if res.Stats.SnapshotEvicted == 0 {
+		t.Fatalf("budget %d held every snapshot (%d captured, %d bytes) — eviction path unexercised",
+			budget, res.Stats.SnapshotCaptures, res.Stats.SnapshotBytes)
+	}
+}

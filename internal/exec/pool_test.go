@@ -209,3 +209,94 @@ func TestPoolAdaptiveStillRunsEverything(t *testing.T) {
 		t.Fatalf("%d commits, want %d", len(r.committed()), n)
 	}
 }
+
+// artifactRunner models the replay search's prefix-snapshot handoff:
+// every Run publishes an immutable artifact for its index into a
+// mutex-guarded store and consumes the deepest predecessor artifact
+// already published, checksumming it to catch torn reads. Under -race
+// this pins the visibility contract Run's doc promises: cross-job
+// artifact flow through an internally synchronized container is safe
+// at any width, and a one-worker pool always sees its immediate
+// predecessor (strict alternation).
+type artifactRunner struct {
+	countRunner
+
+	mu    sync.Mutex
+	store map[int][]byte
+
+	sawPred []atomic.Bool
+}
+
+func newArtifactRunner(n int) *artifactRunner {
+	r := &artifactRunner{
+		countRunner: *newCountRunner(n),
+		store:       make(map[int][]byte),
+		sawPred:     make([]atomic.Bool, n),
+	}
+	return r
+}
+
+func artifactFor(idx int) []byte {
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = byte(idx*31 + i)
+	}
+	return b
+}
+
+func (r *artifactRunner) Run(ctx context.Context, worker, idx int, job any) {
+	r.countRunner.Run(ctx, worker, idx, job)
+	// Consume: deepest already-published predecessor, verified intact.
+	r.mu.Lock()
+	best := -1
+	for i := idx - 1; i >= 0; i-- {
+		if _, ok := r.store[i]; ok {
+			best = i
+			break
+		}
+	}
+	var got []byte
+	if best >= 0 {
+		got = r.store[best] // shared slice: published-immutable
+	}
+	r.mu.Unlock()
+	if best >= 0 {
+		want := artifactFor(best)
+		for i := range got {
+			if got[i] != want[i] {
+				panic("artifact torn or mutated after publication")
+			}
+		}
+		if best == idx-1 {
+			r.sawPred[idx].Store(true)
+		}
+	}
+	// Publish this job's artifact; it must never be written again.
+	r.mu.Lock()
+	r.store[idx] = artifactFor(idx)
+	r.mu.Unlock()
+}
+
+func TestPoolArtifactHandoff(t *testing.T) {
+	const n = 200
+	// Any width: publication through the synchronized store is safe and
+	// intact (the -race build and the checksum enforce it).
+	for _, workers := range []int{1, 2, 8} {
+		r := newArtifactRunner(n)
+		if err := Run(context.Background(), Config{Workers: workers, Budget: n}, r); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if len(r.committed()) != n {
+			t.Fatalf("workers=%d: %d commits, want %d", workers, len(r.committed()), n)
+		}
+		if workers == 1 {
+			// Strict alternation: job i's publication is ordered before
+			// job i+1's Run, so every job sees its immediate predecessor.
+			for i := 1; i < n; i++ {
+				if !r.sawPred[i].Load() {
+					t.Fatalf("workers=1: job %d did not see job %d's artifact", i, i-1)
+				}
+			}
+		}
+	}
+}

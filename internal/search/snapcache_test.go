@@ -1,0 +1,124 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snap(key string, step uint64, bytes int64) *Snapshot {
+	return &Snapshot{Key: key, Step: step, Bytes: bytes}
+}
+
+func TestSnapshotCacheBest(t *testing.T) {
+	c := NewSnapshotCache(1 << 20)
+	c.Store(snap("a", 10, 100))
+	c.Store(snap("a", 50, 100))
+	c.Store(snap("a", 90, 100))
+	c.Store(snap("b", 40, 100))
+
+	if got := c.Best("a", 60, nil); got == nil || got.Step != 50 {
+		t.Fatalf("Best(a,60) = %+v, want step 50", got)
+	}
+	if got := c.Best("a", 200, nil); got == nil || got.Step != 90 {
+		t.Fatalf("Best(a,200) = %+v, want step 90", got)
+	}
+	// Strictly-below: a snapshot at the divergence step itself is unusable.
+	if got := c.Best("a", 10, nil); got != nil {
+		t.Fatalf("Best(a,10) = %+v, want nil", got)
+	}
+	if got := c.Best("missing", 100, nil); got != nil {
+		t.Fatalf("Best(missing) = %+v, want nil", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses", st)
+	}
+}
+
+func TestSnapshotCacheEviction(t *testing.T) {
+	c := NewSnapshotCache(300)
+	c.Store(snap("a", 1, 100))
+	c.Store(snap("b", 1, 100))
+	c.Store(snap("c", 1, 100))
+	if c.Len() != 3 || c.Bytes() != 300 {
+		t.Fatalf("len=%d bytes=%d, want 3/300", c.Len(), c.Bytes())
+	}
+	// "a" is the LRU tail; storing one more evicts it.
+	if ev := c.Store(snap("d", 1, 100)); ev != 1 {
+		t.Fatalf("Store evicted %d, want 1", ev)
+	}
+	if got := c.Best("a", 100, nil); got != nil {
+		t.Fatalf("evicted snapshot still served: %+v", got)
+	}
+	// A hit promotes: touch "b", then overflow — "c" should go, not "b".
+	if c.Best("b", 100, nil) == nil {
+		t.Fatal("b missing before promotion test")
+	}
+	c.Store(snap("e", 1, 100))
+	if c.Best("b", 100, nil) == nil {
+		t.Fatal("promoted snapshot was evicted ahead of colder entries")
+	}
+	if c.Best("c", 100, nil) != nil {
+		t.Fatal("cold snapshot survived past the budget")
+	}
+	// Oversized snapshots are rejected outright.
+	if ev := c.Store(snap("big", 1, 1000)); ev != 0 {
+		t.Fatalf("oversized Store evicted %d, want 0 (rejected)", ev)
+	}
+	if c.Best("big", 100, nil) != nil {
+		t.Fatal("oversized snapshot was retained")
+	}
+}
+
+func TestSnapshotCacheReplace(t *testing.T) {
+	c := NewSnapshotCache(1 << 20)
+	c.Store(snap("a", 10, 100))
+	repl := snap("a", 10, 250)
+	repl.EventDigest = 7
+	c.Store(repl)
+	if c.Len() != 1 || c.Bytes() != 250 {
+		t.Fatalf("len=%d bytes=%d after replace, want 1/250", c.Len(), c.Bytes())
+	}
+	if got := c.Best("a", 100, nil); got == nil || got.EventDigest != 7 {
+		t.Fatalf("replace did not take: %+v", got)
+	}
+}
+
+func TestSnapshotCacheNilSafe(t *testing.T) {
+	var c *SnapshotCache
+	if c.Best("a", 1, nil) != nil || c.Store(snap("a", 1, 1)) != 0 ||
+		c.Len() != 0 || c.Bytes() != 0 || c.Stats() != (SnapshotStats{}) {
+		t.Fatal("nil cache must be inert")
+	}
+}
+
+func TestSnapshotCacheConcurrent(t *testing.T) {
+	// Hammer a tiny cache from many goroutines so Store-driven eviction
+	// races Best-driven promotion; run under -race this checks the
+	// locking, and the final accounting must still balance.
+	c := NewSnapshotCache(2000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%5)
+				if i%3 == 0 {
+					c.Store(snap(key, uint64(i), int64(50+i%7*30)))
+				} else if s := c.Best(key, uint64(i), func(s *Snapshot) bool { return s.Bytes > 0 }); s != nil && s.Key != key {
+					t.Errorf("Best returned wrong key %q for %q", s.Key, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 2000 {
+		t.Fatalf("budget exceeded after hammer: %d", c.Bytes())
+	}
+	st := c.Stats()
+	if st.Stored == 0 || st.Evicted == 0 {
+		t.Fatalf("hammer exercised nothing: %+v", st)
+	}
+}
